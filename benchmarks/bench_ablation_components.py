@@ -1,0 +1,27 @@
+"""Ablation — component tracking on (DASH) vs. off (δ-ordered GraphHeal).
+
+Section 3.1's argument made quantitative: without component information a
+locality-aware healer wastes edges and accumulates degree.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FULL, emit, sweep_jobs
+
+from repro.harness.ablations import run_ablation_components
+
+SIZES = (50, 100, 200, 350) if FULL else (50, 100, 200)
+REPS = 15 if FULL else 8
+
+
+def test_ablation_components(benchmark, results_dir):
+    fig = benchmark.pedantic(
+        lambda: run_ablation_components(
+            sizes=SIZES, repetitions=REPS, jobs=sweep_jobs(), out_dir="results"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig)
+    largest = len(fig.x_values) - 1
+    assert fig.series["dash"][largest] < fig.series["graph-heal-delta"][largest]

@@ -1,0 +1,29 @@
+"""Ablation — δ-ordered RT placement vs. random vs. ID-ordered.
+
+Quantifies what DASH's "high-δ nodes become leaves" rule buys relative to
+the same algorithm with layout order ablated away.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FULL, emit, sweep_jobs
+
+from repro.harness.ablations import run_ablation_order
+
+SIZES = (50, 100, 200, 350) if FULL else (50, 100, 200)
+REPS = 15 if FULL else 8
+
+
+def test_ablation_order(benchmark, results_dir):
+    fig = benchmark.pedantic(
+        lambda: run_ablation_order(
+            sizes=SIZES, repetitions=REPS, jobs=sweep_jobs(), out_dir="results"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig)
+    largest = len(fig.x_values) - 1
+    # δ-ordering is never worse than the ablated variants (means).
+    assert fig.series["dash"][largest] <= fig.series["dash-random-order"][largest] + 0.5
+    assert fig.series["dash"][largest] <= fig.series["binary-tree-heal"][largest] + 0.5

@@ -1,0 +1,61 @@
+"""Distributed substrate benchmarks: protocol cost and engine throughput.
+
+Also reasserts the distributed == centralized equivalence at benchmark
+scale and reports the NoN-maintenance overhead the paper assumes away
+(citing [14, 18]).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dash import Dash
+from repro.core.network import SelfHealingNetwork
+from repro.distributed import DistributedNetwork, MsgKind
+from repro.graph.generators import preferential_attachment
+
+N = 60
+
+
+def _full_kill_distributed():
+    g = preferential_attachment(N, 2, seed=5)
+    dis = DistributedNetwork(g, Dash, seed=5)
+    rng = random.Random(1)
+    alive = sorted(g.nodes())
+    max_rounds_per_heal = 0
+    while len(alive) > 1:
+        victim = rng.choice(alive)
+        rounds = dis.delete(victim)
+        max_rounds_per_heal = max(max_rounds_per_heal, rounds)
+        alive.remove(victim)
+    return dis, max_rounds_per_heal
+
+
+def test_distributed_full_kill(benchmark):
+    dis, max_rounds = benchmark.pedantic(
+        _full_kill_distributed, rounds=3, iterations=1
+    )
+    # Quiescence per heal is bounded (propagation depth + NoN refresh).
+    assert max_rounds < 4 * N
+    assert dis.engine.total_sent(MsgKind.ID_UPDATE) > 0
+
+
+def test_distributed_matches_centralized_at_scale(benchmark):
+    def run():
+        g = preferential_attachment(N, 2, seed=9)
+        cen = SelfHealingNetwork(g.copy(), Dash(), seed=9)
+        dis = DistributedNetwork(g.copy(), Dash, seed=9)
+        rng = random.Random(2)
+        for _ in range(N // 2):
+            victim = rng.choice(sorted(cen.graph.nodes()))
+            cen.delete_and_heal(victim)
+            dis.delete(victim)
+        assert dis.graph() == cen.graph
+        assert dis.healing_graph() == cen.healing_graph
+        return dis
+
+    dis = benchmark.pedantic(run, rounds=2, iterations=1)
+    # Report the NoN overhead ratio for EXPERIMENTS.md.
+    id_msgs = dis.engine.total_sent(MsgKind.ID_UPDATE)
+    non_msgs = dis.engine.total_sent(MsgKind.STATE)
+    print(f"\n[distributed] ID msgs={id_msgs}  NoN maintenance msgs={non_msgs}")

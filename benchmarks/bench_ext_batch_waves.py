@@ -1,0 +1,31 @@
+"""Extension — simultaneous deletion waves (footnote 1).
+
+Waves of k random nodes die at once; DASH heals each wave as a set of
+super-deletions. Connectivity must hold after every wave and the degree
+envelope should stay near the sequential one.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import FULL, emit
+
+from repro.harness.extensions import run_batch_waves
+
+N = 150 if FULL else 80
+REPS = 5 if FULL else 3
+
+
+def test_batch_waves(benchmark, results_dir):
+    fig = benchmark.pedantic(
+        lambda: run_batch_waves(
+            n=N, wave_sizes=(1, 2, 4, 8), repetitions=REPS, out_dir="results"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig)
+    assert "NO" not in fig.table
+    for v in fig.series["peak δ (worst)"]:
+        assert v <= 2 * 2 * math.log2(N)

@@ -1,0 +1,33 @@
+"""Extension — capacity-collapse survival (Section 4.2's victory condition).
+
+Gives every node ``headroom`` spare connections and measures how long each
+healer postpones the first overload under NeighborOfMax. DASH/SDASH must
+survive the entire campaign at moderate headroom; the naive healers
+collapse early.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FULL, emit
+
+from repro.harness.extensions import run_capacity_collapse
+
+N = 200 if FULL else 100
+REPS = 10 if FULL else 5
+
+
+def test_capacity_collapse(benchmark, results_dir):
+    fig = benchmark.pedantic(
+        lambda: run_capacity_collapse(
+            n=N, headrooms=(2, 4, 8), repetitions=REPS, out_dir="results"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig)
+    # At every headroom DASH survives at least as long as graph-heal …
+    for i in range(len(fig.x_values)):
+        assert fig.series["dash"][i] >= fig.series["graph-heal"][i]
+    # … and at headroom 2 DASH survives the whole campaign.
+    assert fig.series["dash"][0] == float(N)
+    assert fig.series["sdash"][0] == float(N)

@@ -1,0 +1,27 @@
+"""Extension — topology robustness matrix.
+
+Theorem 1 promises its guarantees "irrespective of the topology of the
+initial network"; this table verifies peak δ ≤ 2·log₂ n and connectivity
+across six topology families under the NeighborOfMax attack.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FULL, emit
+
+from repro.harness.extensions import run_topology_matrix
+
+N = 150 if FULL else 80
+REPS = 5 if FULL else 3
+
+
+def test_topology_matrix(benchmark, results_dir):
+    fig = benchmark.pedantic(
+        lambda: run_topology_matrix(n=N, repetitions=REPS, out_dir="results"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig)
+    for i in range(len(fig.x_values)):
+        assert fig.series["peak δ"][i] <= fig.series["bound"][i]
+    assert "NO" not in fig.table

@@ -1,0 +1,39 @@
+"""Figure 10 — stretch under the MaxNode attack.
+
+Shape: the naive high-degree healers (GraphHeal) buy low stretch with
+unbounded degree; DASH pays more stretch; SDASH stays at or below DASH
+while matching its degree profile (the degree side is fig8's job).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FULL, emit, sweep_jobs
+
+from repro.harness.fig10 import run_fig10
+
+SIZES = (50, 100, 200, 300) if FULL else (50, 100, 150)
+REPS = 30 if FULL else 6
+PERIOD = 1 if FULL else 2
+
+
+def _run():
+    return run_fig10(
+        sizes=SIZES,
+        repetitions=REPS,
+        stretch_period=PERIOD,
+        jobs=sweep_jobs(),
+        out_dir="results",
+    )
+
+
+def test_fig10_stretch(benchmark, results_dir):
+    fig = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(fig)
+    largest = len(fig.x_values) - 1
+    # Naive graph-heal keeps stretch lowest; DASH pays more.
+    assert fig.series["graph-heal"][largest] < fig.series["dash"][largest]
+    # SDASH never does meaningfully worse than DASH.
+    assert fig.series["sdash"][largest] <= fig.series["dash"][largest] + 1.0
+    # Everything that maintains connectivity has finite stretch.
+    for healer, ys in fig.series.items():
+        assert all(y == y and y != float("inf") for y in ys), healer

@@ -1,0 +1,38 @@
+"""Figure 8 — maximum degree increase, DASH vs. the other healers.
+
+Regenerates the paper's headline comparison (BA graphs, NeighborOfMax
+attack, max degree increase over full destruction) and asserts the shape:
+GraphHeal ≫ BinaryTreeHeal ≫ DASH ≈ SDASH ≤ 2·log₂ n.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import FULL, emit, sweep_jobs
+
+from repro.harness.fig8 import run_fig8
+
+SIZES = (50, 100, 200, 350, 500) if FULL else (50, 100, 200)
+REPS = 30 if FULL else 8
+
+
+def _run():
+    return run_fig8(
+        sizes=SIZES, repetitions=REPS, jobs=sweep_jobs(), out_dir="results"
+    )
+
+
+def test_fig8_degree_increase(benchmark, results_dir):
+    fig = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(fig)
+
+    largest = len(fig.x_values) - 1
+    n = fig.x_values[largest]
+    # Shape assertions (who wins, and the theoretical envelope).
+    assert fig.series["graph-heal"][largest] > fig.series["dash"][largest]
+    assert fig.series["graph-heal"][largest] > fig.series["binary-tree-heal"][largest]
+    assert fig.series["binary-tree-heal"][largest] > fig.series["dash"][largest]
+    assert fig.series["dash"][largest] <= 2 * math.log2(n)
+    assert fig.series["sdash"][largest] <= 2 * math.log2(n)
+    assert abs(fig.series["dash"][largest] - fig.series["sdash"][largest]) <= 2.0

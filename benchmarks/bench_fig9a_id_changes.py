@@ -1,0 +1,38 @@
+"""Figure 9(a) — per-node component-ID changes.
+
+All healing strategies keep the max number of ID changes per node under
+the record-breaking envelope 2·ln n (Lemma 8).
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import FULL, emit, sweep_jobs
+
+from repro.harness.fig9 import run_fig9
+
+SIZES = (50, 100, 200, 350, 500) if FULL else (50, 100, 200)
+REPS = 30 if FULL else 8
+
+_CACHE: dict = {}
+
+
+def run_fig9_cached():
+    """fig9a and fig9b share one sweep; cache it across the two benches."""
+    key = (SIZES, REPS)
+    if key not in _CACHE:
+        _CACHE[key] = run_fig9(
+            sizes=SIZES, repetitions=REPS, jobs=sweep_jobs(), out_dir="results"
+        )
+    return _CACHE[key]
+
+
+def test_fig9a_id_changes(benchmark, results_dir):
+    fig_a, _ = benchmark.pedantic(run_fig9_cached, rounds=1, iterations=1)
+    emit(fig_a)
+    for i, n in enumerate(fig_a.x_values):
+        for healer, ys in fig_a.series.items():
+            if healer.endswith("(n)"):
+                continue  # envelope columns
+            assert ys[i] <= 2 * math.log(n) + 1, (healer, n)

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of healing itself: per-round cost and full campaigns.
+
+Theorem 1's O(1) reconnection claim shows up here as per-round heal cost
+that is independent of n (it depends only on the deleted node's degree).
+"""
+
+from __future__ import annotations
+
+from repro.adversary import NeighborOfMaxAttack, RandomAttack
+from repro.core.dash import Dash
+from repro.core.naive import GraphHeal
+from repro.core.network import SelfHealingNetwork
+from repro.core.sdash import Sdash
+from repro.graph.generators import preferential_attachment, star_graph
+from repro.sim.simulator import run_simulation
+
+
+def test_single_heal_star_hub(benchmark):
+    """One worst-case heal: the hub of a 256-star dies (255 participants)."""
+
+    def setup():
+        net = SelfHealingNetwork(star_graph(256), Dash(), seed=0)
+        return (net,), {}
+
+    benchmark.pedantic(
+        lambda net: net.delete_and_heal(0), setup=setup, rounds=30
+    )
+
+
+def test_full_kill_dash_n300(benchmark):
+    def run():
+        g = preferential_attachment(300, 2, seed=3)
+        return run_simulation(g, Dash(), RandomAttack(seed=3))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.final_alive == 0
+
+
+def test_full_kill_sdash_nms_n300(benchmark):
+    def run():
+        g = preferential_attachment(300, 2, seed=3)
+        return run_simulation(g, Sdash(), NeighborOfMaxAttack(seed=3))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.final_alive == 0
+
+
+def test_full_kill_graphheal_n300(benchmark):
+    """The naive healer is the stress test for the component tracker's
+    slow path (G′ has cycles, so every round takes the BFS branch)."""
+
+    def run():
+        g = preferential_attachment(300, 2, seed=3)
+        return run_simulation(g, GraphHeal(), RandomAttack(seed=3))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.final_alive == 0

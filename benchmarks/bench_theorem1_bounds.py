@@ -1,0 +1,24 @@
+"""Theorem 1 — measured DASH costs vs. proven envelopes (table)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FULL, emit, sweep_jobs
+
+from repro.harness.theorem1 import run_theorem1
+
+SIZES = (50, 100, 200, 350, 500) if FULL else (50, 100, 200)
+REPS = 10 if FULL else 5
+
+
+def _run():
+    return run_theorem1(
+        sizes=SIZES, repetitions=REPS, jobs=sweep_jobs(), out_dir="results"
+    )
+
+
+def test_theorem1_bounds(benchmark, results_dir):
+    fig = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(fig)
+    for i in range(len(fig.x_values)):
+        assert fig.series["measured max δ"][i] <= fig.series["2log2(n)"][i]
+        assert fig.series["measured idΔ"][i] <= fig.series["2ln(n)"][i] + 1

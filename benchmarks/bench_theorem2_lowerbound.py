@@ -1,0 +1,36 @@
+"""Theorem 2 — the LEVELATTACK lower bound, for M = 1 and M = 2.
+
+The forced degree increase must equal the tree depth D exactly
+(Lemma 13 gives ≥ D; the bounded healer cannot exceed it by much since
+pruning keeps its inputs minimal) — our runs reproduce equality.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FULL, emit
+
+from repro.harness.theorem2 import run_theorem2
+
+DEPTHS_M1 = (2, 3, 4, 5) if FULL else (2, 3, 4)
+DEPTHS_M2 = (2, 3) if FULL else (2, 3)
+
+
+def test_theorem2_m1(benchmark, results_dir):
+    fig = benchmark.pedantic(
+        lambda: run_theorem2(depths=DEPTHS_M1, max_increase=1, out_dir="results"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig)
+    assert fig.series["bounded(M=1) forced δ"] == [float(d) for d in DEPTHS_M1]
+
+
+def test_theorem2_m2(benchmark, results_dir):
+    fig = benchmark.pedantic(
+        lambda: run_theorem2(depths=DEPTHS_M2, max_increase=2, out_dir="results"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig)
+    for depth, forced in zip(DEPTHS_M2, fig.series["bounded(M=2) forced δ"]):
+        assert forced >= depth

@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Each ``bench_*`` file regenerates one paper artifact (figure/table) and
+benchmarks the regeneration. Figure tables are printed to stdout (visible
+with ``pytest -s`` and in ``--benchmark-only`` logs) and persisted under
+``results/`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: where figure CSVs/tables land
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Sweep scale knob: CI-quick by default; export REPRO_BENCH_FULL=1 for
+#: paper-fidelity sizes (30 repetitions, larger n).
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+
+def emit(fig) -> None:
+    """Print and persist a FigureResult."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    print()
+    print(fig.table)
+    print(fig.chart)
+    (RESULTS_DIR / f"{fig.name}.txt").write_text(fig.summary() + "\n")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def sweep_jobs() -> int:
+    from repro.sim.parallel import default_jobs
+
+    return default_jobs()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The motivating scenario: a P2P overlay losing its supernodes.
+
+The paper opens with the August 2007 Skype outage — a failure of the
+overlay's "self-healing mechanisms" that disconnected ~200M users. This
+example models a Skype-like overlay (scale-free: a few high-degree
+supernodes route for many leaf clients) under a cascade that keeps
+knocking out the busiest supernode, and compares:
+
+* no healing            — the overlay shatters almost immediately;
+* naive GraphHeal       — stays connected but melts the surviving
+                          supernodes with unbounded degree growth;
+* DASH                  — stays connected with ≤ 2·log₂ n extra load on
+                          any node.
+
+Run:  python examples/skype_overlay.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import (
+    Dash,
+    GraphHeal,
+    MaxNodeAttack,
+    NoHeal,
+    make_healer,
+    preferential_attachment,
+    run_simulation,
+)
+from repro.sim.metrics import ComponentMetric, ConnectivityMetric, DegreeMetric
+from repro.utils.tables import format_table
+
+N = 400  # overlay peers
+OUTAGE_WAVES = 120  # supernodes taken down by the cascade
+
+
+def simulate(healer_name: str):
+    overlay = preferential_attachment(N, m=2, seed=2007)
+    result = run_simulation(
+        overlay,
+        make_healer(healer_name),
+        MaxNodeAttack(),  # the cascade always topples the busiest node
+        id_seed=815,
+        max_deletions=OUTAGE_WAVES,
+        metrics=[DegreeMetric(), ConnectivityMetric(), ComponentMetric(period=5)],
+    )
+    return result
+
+
+def main() -> None:
+    print(f"Skype-style overlay: {N} peers, scale-free topology")
+    print(f"cascade: {OUTAGE_WAVES} waves, each deleting the busiest supernode\n")
+
+    rows = []
+    for name in ("none", "graph-heal", "dash"):
+        r = simulate(name)
+        rows.append(
+            [
+                name,
+                "yes" if r["always_connected"] else "NO",
+                int(r["max_components"]),
+                int(r["max_degree_increase"]),
+                int(r["final_max_degree"]),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "healer",
+                "connected",
+                "max fragments",
+                "max extra load (δ)",
+                "final max degree",
+            ],
+            rows,
+            title="Outage outcome by healing strategy",
+        )
+    )
+    print(
+        f"\nTheorem 1 envelope for DASH: 2·log2({N}) = {2 * math.log2(N):.1f} "
+        "extra connections per peer, guaranteed."
+    )
+    print(
+        "NoHeal fragments the overlay; GraphHeal survives by overloading "
+        "survivors; DASH survives within its proven load budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

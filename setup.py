@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline (no `wheel`, setuptools 65.x), so
+PEP 660 editable installs are unavailable; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``. All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

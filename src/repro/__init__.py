@@ -1,0 +1,122 @@
+"""repro — self-healing reconfigurable networks (Saia & Trehan, IPPS 2008).
+
+A full reproduction of the paper "Picking up the Pieces: Self-Healing in
+Reconfigurable Networks": the DASH and SDASH healing algorithms, the
+naive baselines they are compared against, the adversaries (including the
+Theorem 2 LEVELATTACK), a centralized simulator with the paper's cost
+accounting, a message-passing distributed implementation of the protocol,
+and the full experiment harness regenerating every figure.
+
+Quick start
+-----------
+>>> from repro import preferential_attachment, SelfHealingNetwork, Dash
+>>> from repro import NeighborOfMaxAttack, run_simulation, default_metrics
+>>> g = preferential_attachment(100, 2, seed=1)
+>>> result = run_simulation(g, Dash(), NeighborOfMaxAttack(seed=2),
+...                         metrics=default_metrics())
+>>> result.peak_delta <= 2 * 7  # ≤ 2·log2(100) ≈ 13.3
+True
+"""
+
+from repro.adversary import (
+    ADVERSARIES,
+    Adversary,
+    LevelAttack,
+    MaxDeltaNeighborAttack,
+    MaxNodeAttack,
+    MinDegreeAttack,
+    NeighborOfMaxAttack,
+    RandomAttack,
+    ScriptedAttack,
+    make_adversary,
+)
+from repro.core import (
+    HEALERS,
+    PAPER_HEALERS,
+    BinaryTreeHeal,
+    ComponentTracker,
+    Dash,
+    DegreeBoundedHealer,
+    GraphHeal,
+    HealEvent,
+    Healer,
+    LineHeal,
+    NeighborhoodSnapshot,
+    NoHeal,
+    RandomOrderDash,
+    ReconnectionPlan,
+    Sdash,
+    SelfHealingNetwork,
+    StarHeal,
+    make_healer,
+)
+from repro.distributed import DistributedNetwork
+from repro.errors import ReproError
+from repro.graph import (
+    Graph,
+    complete_kary_tree,
+    erdos_renyi,
+    is_connected,
+    is_forest,
+    preferential_attachment,
+    random_tree,
+)
+from repro.sim import (
+    ExperimentSpec,
+    ResultSet,
+    SimulationResult,
+    StretchComputer,
+    default_metrics,
+    run_experiment,
+    run_simulation,
+)
+from repro.version import PAPER, __version__
+
+__all__ = [
+    "ADVERSARIES",
+    "Adversary",
+    "LevelAttack",
+    "MaxDeltaNeighborAttack",
+    "MaxNodeAttack",
+    "MinDegreeAttack",
+    "NeighborOfMaxAttack",
+    "RandomAttack",
+    "ScriptedAttack",
+    "make_adversary",
+    "HEALERS",
+    "PAPER_HEALERS",
+    "BinaryTreeHeal",
+    "ComponentTracker",
+    "Dash",
+    "DegreeBoundedHealer",
+    "GraphHeal",
+    "HealEvent",
+    "Healer",
+    "LineHeal",
+    "NeighborhoodSnapshot",
+    "NoHeal",
+    "RandomOrderDash",
+    "ReconnectionPlan",
+    "Sdash",
+    "SelfHealingNetwork",
+    "StarHeal",
+    "make_healer",
+    "DistributedNetwork",
+    "ReproError",
+    "Graph",
+    "complete_kary_tree",
+    "erdos_renyi",
+    "is_connected",
+    "is_forest",
+    "preferential_attachment",
+    "random_tree",
+    "ExperimentSpec",
+    "ResultSet",
+    "SimulationResult",
+    "StretchComputer",
+    "default_metrics",
+    "run_experiment",
+    "run_simulation",
+    "PAPER",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Attack strategies: the paper's adversaries and the lower-bound LEVELATTACK."""
+
+from typing import Callable
+
+from repro.adversary.base import Adversary
+from repro.adversary.classic import (
+    MaxDeltaNeighborAttack,
+    MaxNodeAttack,
+    MinDegreeAttack,
+    NeighborOfMaxAttack,
+    RandomAttack,
+)
+from repro.adversary.levelattack import LevelAttack, prune_order
+from repro.adversary.scripted import ScriptedAttack
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Adversary",
+    "MaxNodeAttack",
+    "NeighborOfMaxAttack",
+    "RandomAttack",
+    "MinDegreeAttack",
+    "MaxDeltaNeighborAttack",
+    "LevelAttack",
+    "ScriptedAttack",
+    "prune_order",
+    "ADVERSARIES",
+    "make_adversary",
+]
+
+#: Name → factory registry (mirrors the healer registry).
+ADVERSARIES: dict[str, Callable[..., Adversary]] = {
+    MaxNodeAttack.name: MaxNodeAttack,
+    NeighborOfMaxAttack.name: NeighborOfMaxAttack,
+    RandomAttack.name: RandomAttack,
+    MinDegreeAttack.name: MinDegreeAttack,
+    MaxDeltaNeighborAttack.name: MaxDeltaNeighborAttack,
+    LevelAttack.name: LevelAttack,
+    ScriptedAttack.name: ScriptedAttack,
+}
+
+
+def make_adversary(name: str, **kwargs) -> Adversary:
+    """Instantiate an adversary by registry name, forwarding ``kwargs``."""
+    try:
+        factory = ADVERSARIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown adversary {name!r}; available: {', '.join(sorted(ADVERSARIES))}"
+        ) from None
+    return factory(**kwargs)

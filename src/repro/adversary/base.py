@@ -1,0 +1,65 @@
+"""Adversary framework.
+
+The paper's adversary is omniscient — it "knows the network topology and
+our algorithm" — and deletes one carefully chosen node per time step
+(Section 1, Our Model). We model it as a strategy object that inspects the
+full :class:`~repro.core.network.SelfHealingNetwork` (topology, δ values,
+component labels: everything) and names the next victim.
+
+Strategies that follow a stateful multi-step agenda (LEVELATTACK's
+level-by-level sweep with pruning) implement :meth:`Adversary.agenda` as a
+generator; the base class adapts it to the per-round
+:meth:`Adversary.choose_target` pull interface, suspending between rounds
+so the agenda always observes the post-heal state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, ClassVar, Hashable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import SelfHealingNetwork
+
+__all__ = ["Adversary"]
+
+Node = Hashable
+
+
+class Adversary(abc.ABC):
+    """A node-deletion strategy.
+
+    Lifecycle: the simulator calls :meth:`reset` once per run, then
+    :meth:`choose_target` before every deletion; returning ``None`` ends
+    the attack early (the simulator also stops on its own termination
+    conditions).
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def reset(self, network: "SelfHealingNetwork") -> None:
+        """Prepare for a fresh run against ``network``."""
+        self._iter: Iterator[Node] | None = None
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        """Name the next victim, or ``None`` to stop attacking.
+
+        Default implementation drives :meth:`agenda`; simple adversaries
+        override this method directly instead.
+        """
+        if getattr(self, "_iter", None) is None:
+            self._iter = self.agenda(network)
+        assert self._iter is not None
+        try:
+            return next(self._iter)
+        except StopIteration:
+            return None
+
+    def agenda(self, network: "SelfHealingNetwork") -> Iterator[Node]:
+        """Yield victims one at a time; resumed after each heal completes."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must override choose_target() or agenda()"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,167 @@
+"""The paper's experimental attack strategies, plus useful extras.
+
+Section 4.2 defines two strategies:
+
+* **MaxNode** — delete the current maximum-degree node ("it would seem
+  that a strategy that leads to additional burden on an already high
+  burden node would be a good strategy"). The paper found this the most
+  effective strategy against *stretch* (Section 4.6.3).
+* **NeighborOfMax (NMS)** — delete a uniformly random neighbor of the
+  current maximum-degree node: hubs are well protected in real networks,
+  their neighbors are soft targets, and each such deletion funnels degree
+  onto the hub. The paper found this "consistently resulted in higher
+  degree increase", so Figure 8/9 use it.
+
+Extras used by the wider test/benchmark matrix: uniformly random
+deletion, minimum-degree (leaf) deletion, and a δ-seeking attack that
+targets the neighborhood of the node with the largest degree increase.
+
+Determinism: ties on degree are broken by node label, and the stochastic
+strategies take explicit seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, ClassVar, Hashable
+
+from repro.adversary.base import Adversary
+from repro.utils.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import SelfHealingNetwork
+
+__all__ = [
+    "MaxNodeAttack",
+    "NeighborOfMaxAttack",
+    "RandomAttack",
+    "MinDegreeAttack",
+    "MaxDeltaNeighborAttack",
+]
+
+Node = Hashable
+
+
+def _max_degree_node(network: "SelfHealingNetwork") -> Node | None:
+    """Current maximum-degree node, smallest label on ties; None if empty."""
+    g = network.graph
+    best: Node | None = None
+    best_key: tuple[int, object] | None = None
+    for u in g.nodes():
+        key = (-g.degree(u), u)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = u
+    return best
+
+
+class MaxNodeAttack(Adversary):
+    """Delete the current maximum-degree node."""
+
+    name: ClassVar[str] = "max-node"
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        return _max_degree_node(network)
+
+
+class NeighborOfMaxAttack(Adversary):
+    """Delete a random neighbor of the current maximum-degree node (NMS).
+
+    When the max-degree node is isolated (degree 0), it is deleted itself
+    so the attack always makes progress.
+    """
+
+    name: ClassVar[str] = "neighbor-of-max"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng: random.Random = make_rng(seed)
+
+    def reset(self, network: "SelfHealingNetwork") -> None:
+        super().reset(network)
+        self._rng = make_rng(self._seed)
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        hub = _max_degree_node(network)
+        if hub is None:
+            return None
+        nbrs = sorted(network.graph.neighbors(hub))
+        if not nbrs:
+            return hub
+        return self._rng.choice(nbrs)
+
+
+class RandomAttack(Adversary):
+    """Delete a uniformly random surviving node (failure, not attack)."""
+
+    name: ClassVar[str] = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng: random.Random = make_rng(seed)
+
+    def reset(self, network: "SelfHealingNetwork") -> None:
+        super().reset(network)
+        self._rng = make_rng(self._seed)
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        nodes = sorted(network.graph.nodes())
+        if not nodes:
+            return None
+        return self._rng.choice(nodes)
+
+
+class MinDegreeAttack(Adversary):
+    """Delete the current minimum-degree node (leaf-eating attack).
+
+    Cheap for the healer (leaves need no reconnection edges); included as
+    the benign extreme of the attack spectrum.
+    """
+
+    name: ClassVar[str] = "min-degree"
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        g = network.graph
+        best: Node | None = None
+        best_key: tuple[int, object] | None = None
+        for u in g.nodes():
+            key = (g.degree(u), u)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = u
+        return best
+
+
+class MaxDeltaNeighborAttack(Adversary):
+    """Delete a random neighbor of the node with the largest δ.
+
+    A healing-aware variant of NMS: instead of chasing raw degree it
+    chases *degree increase*, concentrating further healing load on the
+    node the healer is already struggling to protect.
+    """
+
+    name: ClassVar[str] = "neighbor-of-max-delta"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng: random.Random = make_rng(seed)
+
+    def reset(self, network: "SelfHealingNetwork") -> None:
+        super().reset(network)
+        self._rng = make_rng(self._seed)
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        g = network.graph
+        best: Node | None = None
+        best_key: tuple[int, object] | None = None
+        for u in g.nodes():
+            key = (-network.delta(u), u)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = u
+        if best is None:
+            return None
+        nbrs = sorted(g.neighbors(best))
+        if not nbrs:
+            return best
+        return self._rng.choice(nbrs)

@@ -1,0 +1,55 @@
+"""Scripted (replay) adversary.
+
+Used to (a) reproduce a previously recorded deletion sequence exactly,
+(b) drive tests with handcrafted worst cases, and (c) compare healers on
+*identical* attack sequences (the paper averages over random instances;
+replay removes attack-order variance when isolating healer effects).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Hashable, Iterator, Sequence
+
+from repro.adversary.base import Adversary
+from repro.errors import AdversaryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import SelfHealingNetwork
+
+__all__ = ["ScriptedAttack"]
+
+Node = Hashable
+
+
+class ScriptedAttack(Adversary):
+    """Delete a fixed sequence of nodes, in order.
+
+    Parameters
+    ----------
+    sequence:
+        Victims in deletion order.
+    strict:
+        When ``True`` (default) a victim missing from the graph raises
+        :class:`~repro.errors.AdversaryError` — replays must match
+        exactly. When ``False`` missing victims are skipped silently,
+        which is convenient for cross-healer comparisons where an earlier
+        deletion may have already isolated a node.
+    """
+
+    name: ClassVar[str] = "scripted"
+
+    def __init__(self, sequence: Sequence[Node], strict: bool = True) -> None:
+        self.sequence = tuple(sequence)
+        self.strict = strict
+
+    def agenda(self, network: "SelfHealingNetwork") -> Iterator[Node]:
+        for victim in self.sequence:
+            if network.graph.has_node(victim):
+                yield victim
+            elif self.strict:
+                raise AdversaryError(
+                    f"scripted victim {victim!r} is not in the graph"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScriptedAttack(len={len(self.sequence)}, strict={self.strict})"

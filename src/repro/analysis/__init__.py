@@ -1,0 +1,37 @@
+"""Proof machinery made executable: weights, rem(v), invariants, bounds."""
+
+from repro.analysis.invariants import (
+    check_connectivity_invariant,
+    check_degree_bound,
+    check_forest_invariant,
+    check_healing_subset,
+    lemma10_degree_sum_delta,
+)
+from repro.analysis.theory import (
+    dash_degree_bound,
+    expected_records,
+    harmonic,
+    id_change_bound,
+    kary_depth,
+    levelattack_forced_increase,
+    message_bound,
+)
+from repro.analysis.weights import WeightTracker, rem, subtree_weight
+
+__all__ = [
+    "check_connectivity_invariant",
+    "check_degree_bound",
+    "check_forest_invariant",
+    "check_healing_subset",
+    "lemma10_degree_sum_delta",
+    "dash_degree_bound",
+    "expected_records",
+    "harmonic",
+    "id_change_bound",
+    "kary_depth",
+    "levelattack_forced_increase",
+    "message_bound",
+    "WeightTracker",
+    "rem",
+    "subtree_weight",
+]

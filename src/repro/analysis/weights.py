@@ -1,0 +1,127 @@
+"""The weight / rem(v) potential from the proof of Theorem 1 (Section 2.2).
+
+The paper's degree bound rests on a potential argument:
+
+* every vertex starts with weight w(v) = 1; when v is deleted its weight
+  is handed to an arbitrarily chosen G′-neighbor, so total weight is
+  conserved at n (Lemma 5's W* = n);
+* ``rem(v) = W(T_v) − max_{u∈N(v,G′)} W(T(u,v))`` — the weight of v's
+  healing-edge tree minus its heaviest branch (plus w(v) when written in
+  branch form);
+* rem(v) never decreases while v lives (Lemma 2), doubles every time δ(v)
+  grows by 2 (Lemma 4: rem(v) ≥ 2^{δ(v)/2}), and is capped by n
+  (Lemma 5) — hence δ(v) ≤ 2·log₂ n (Lemma 6).
+
+This module makes the bookkeeping executable so tests can verify the
+*actual* inequalities on real runs, not just the final degree bound.
+:class:`WeightTracker` must observe each deletion **before** the network
+processes it (it needs the pre-deletion G′ neighborhood).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.core.base import NeighborhoodSnapshot
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+
+__all__ = ["WeightTracker", "subtree_weight", "rem"]
+
+Node = Hashable
+
+
+def subtree_weight(
+    healing_graph: Graph, weights: dict[Node, float], root: Node, avoid: Node
+) -> float:
+    """W(T(root, avoid)): total weight of root's component in G′ − avoid."""
+    total = 0.0
+    seen = {root}
+    frontier: deque[Node] = deque([root])
+    while frontier:
+        u = frontier.popleft()
+        total += weights[u]
+        for w in healing_graph.neighbors_view(u):
+            if w != avoid and w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return total
+
+
+def rem(healing_graph: Graph, weights: dict[Node, float], v: Node) -> float:
+    """rem(v) = Σ_branches W(T(u,v)) − max branch + w(v).
+
+    Equals w(v) when v has no healing-edge neighbors (its tree is itself).
+    O(|T_v|·deg) — analysis/test use only.
+    """
+    branch_weights = [
+        subtree_weight(healing_graph, weights, u, v)
+        for u in healing_graph.neighbors_view(v)
+    ]
+    if not branch_weights:
+        return weights[v]
+    return sum(branch_weights) - max(branch_weights) + weights[v]
+
+
+class WeightTracker:
+    """Maintains the proof's vertex weights across deletions.
+
+    Weight-transfer rule: the deleted node's weight goes to its
+    minimum-initial-ID G′-neighbor ("arbitrarily chosen" in the paper; we
+    fix a deterministic choice). If the node had no G′-neighbor but still
+    had G-neighbors, the weight goes to the minimum-initial-ID participant
+    (its component was a singleton, which the heal merges into the
+    recipient's); a fully isolated node's weight leaves the system along
+    with its component.
+    """
+
+    def __init__(self, network) -> None:
+        self._network = network
+        self.weights: dict[Node, float] = {
+            u: 1.0 for u in network.graph.nodes()
+        }
+
+    def observe_deletion(self, snapshot: NeighborhoodSnapshot) -> None:
+        """Transfer the victim's weight; call before ``delete_and_heal``."""
+        v = snapshot.deleted
+        w = self.weights.pop(v, None)
+        if w is None:
+            raise SimulationError(f"weight for {v!r} already transferred")
+        heirs = snapshot.gprime_neighbors or snapshot.g_neighbors
+        if not heirs:
+            return  # isolated node: its component (and weight) vanish
+        heir = min(heirs, key=lambda u: snapshot.initial_ids[u])
+        self.weights[heir] += w
+
+    # ------------------------------------------------------------------
+    # Lemma checks
+    # ------------------------------------------------------------------
+    def total_weight(self) -> float:
+        """W*: total surviving weight (= n while any component survives)."""
+        return sum(self.weights.values())
+
+    def rem_of(self, v: Node) -> float:
+        return rem(self._network.healing_graph, self.weights, v)
+
+    def check_lemma4(self) -> None:
+        """rem(v) ≥ 2^{δ(v)/2} for every survivor, else raise."""
+        for v in self._network.graph.nodes():
+            delta = self._network.delta(v)
+            lower = 2.0 ** (delta / 2.0)
+            actual = self.rem_of(v)
+            if actual + 1e-9 < lower:
+                raise SimulationError(
+                    f"Lemma 4 violated at {v!r}: rem={actual} < "
+                    f"2^(δ/2)={lower} (δ={delta})"
+                )
+
+    def check_lemma5(self) -> None:
+        """rem(v) ≤ n for every survivor, else raise."""
+        n = self._network.initial_n
+        for v in self._network.graph.nodes():
+            actual = self.rem_of(v)
+            if actual > n + 1e-9:
+                raise SimulationError(
+                    f"Lemma 5 violated at {v!r}: rem={actual} > n={n}"
+                )

@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+Examples
+--------
+Regenerate a paper figure (small, fast settings)::
+
+    python -m repro.cli figure fig8 --sizes 50 100 --reps 5 --jobs 4
+
+Full-fidelity regeneration with CSVs::
+
+    python -m repro.cli figure fig8 --out results/ --jobs 8
+
+Run a one-off simulation and print its metrics::
+
+    python -m repro.cli simulate --generator preferential_attachment \
+        --n 200 --healer dash --adversary neighbor-of-max --seed 7
+
+List available components::
+
+    python -m repro.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.adversary import ADVERSARIES, make_adversary
+from repro.core.registry import HEALERS, make_healer
+from repro.graph.generators import GENERATORS
+from repro.sim.metrics import ConnectivityMetric, default_metrics
+from repro.sim.simulator import run_simulation
+from repro.utils.rng import derive_seed
+from repro.version import PAPER, __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-selfheal",
+        description=f"Self-healing network reproduction of: {PAPER}",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig.add_argument("name", help="figure id (see `list`)")
+    fig.add_argument("--sizes", type=int, nargs="+", default=None)
+    fig.add_argument("--depths", type=int, nargs="+", default=None,
+                     help="tree depths (theorem2 only)")
+    fig.add_argument("--reps", type=int, default=None)
+    fig.add_argument("--seed", type=int, default=None)
+    fig.add_argument("--jobs", type=int, default=None)
+    fig.add_argument("--out", default=None, help="directory for CSV output")
+    fig.add_argument("--quiet", action="store_true", help="table only, no chart")
+
+    sim = sub.add_parser("simulate", help="run one attack/heal campaign")
+    sim.add_argument("--generator", default="preferential_attachment",
+                     choices=sorted(GENERATORS))
+    sim.add_argument("--n", type=int, default=100)
+    sim.add_argument("--m", type=int, default=2,
+                     help="generator edge parameter (where applicable)")
+    sim.add_argument("--healer", default="dash", choices=sorted(HEALERS))
+    sim.add_argument("--adversary", default="neighbor-of-max",
+                     choices=sorted(ADVERSARIES))
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--max-deletions", type=int, default=None)
+
+    sub.add_parser("list", help="list figures, healers, adversaries, generators")
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness import FIGURES
+
+    if args.name not in FIGURES:
+        print(f"unknown figure {args.name!r}; known: {', '.join(sorted(FIGURES))}",
+              file=sys.stderr)
+        return 2
+    import inspect
+
+    fn = FIGURES[args.name]
+    supported = inspect.signature(fn).parameters
+    kwargs: dict = {}
+    if args.depths and "depths" in supported:
+        kwargs["depths"] = tuple(args.depths)
+    if args.sizes and "sizes" in supported:
+        kwargs["sizes"] = tuple(args.sizes)
+    if args.reps and "repetitions" in supported:
+        kwargs["repetitions"] = args.reps
+    if args.seed is not None and "master_seed" in supported:
+        kwargs["master_seed"] = args.seed
+    if "jobs" in supported:
+        kwargs["jobs"] = args.jobs
+    if "out_dir" in supported:
+        kwargs["out_dir"] = args.out
+    if "progress" in supported:
+        kwargs["progress"] = not args.quiet
+    out = fn(**kwargs)
+    figures = out if isinstance(out, tuple) else (out,)
+    for f in figures:
+        print(f.table)
+        if not args.quiet:
+            print(f.chart)
+        if f.csv_path:
+            print(f"[csv] {f.csv_path}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import inspect
+
+    gen = GENERATORS[args.generator]
+    gen_kwargs: dict = {}
+    sig = inspect.signature(gen).parameters
+    if "n" in sig:
+        gen_kwargs["n"] = args.n
+    if "m" in sig:
+        gen_kwargs["m"] = args.m
+    if "p" in sig:
+        gen_kwargs["p"] = 0.05
+    if "seed" in sig:
+        gen_kwargs["seed"] = derive_seed(args.seed, "graph")
+    graph = gen(**gen_kwargs)
+
+    healer = make_healer(args.healer)
+    adv_kwargs: dict = {}
+    if "seed" in inspect.signature(ADVERSARIES[args.adversary]).parameters:
+        adv_kwargs["seed"] = derive_seed(args.seed, "attack")
+    adversary = make_adversary(args.adversary, **adv_kwargs)
+
+    metrics = default_metrics() + [ConnectivityMetric()]
+    result = run_simulation(
+        graph,
+        healer,
+        adversary,
+        id_seed=derive_seed(args.seed, "ids"),
+        metrics=metrics,
+        max_deletions=args.max_deletions,
+    )
+    print(f"initial n        : {result.initial_n}")
+    print(f"deletions        : {result.deletions}")
+    print(f"final alive      : {result.final_alive}")
+    print(f"peak δ           : {result.peak_delta}")
+    for key in sorted(result.values):
+        print(f"{key:<24s}: {result.values[key]:.3f}")
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    from repro.harness import FIGURES
+
+    print("figures    :", ", ".join(sorted(FIGURES)))
+    print("healers    :", ", ".join(sorted(HEALERS)))
+    print("adversaries:", ", ".join(sorted(ADVERSARIES)))
+    print("generators :", ", ".join(sorted(GENERATORS)))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""The paper's core contribution: DASH, SDASH, baselines, and the
+self-healing network orchestration they run inside."""
+
+from repro.core.base import Healer, NeighborhoodSnapshot, ReconnectionPlan
+from repro.core.components import ComponentTracker, NodeId, RoundStats, make_node_ids
+from repro.core.dash import Dash
+from repro.core.naive import (
+    BinaryTreeHeal,
+    DegreeBoundedHealer,
+    GraphHeal,
+    LineHeal,
+    NoHeal,
+    RandomOrderDash,
+    StarHeal,
+)
+from repro.core.network import HealEvent, SelfHealingNetwork
+from repro.core.registry import HEALERS, PAPER_HEALERS, healer_names, make_healer
+from repro.core.sdash import Sdash
+
+__all__ = [
+    "Healer",
+    "NeighborhoodSnapshot",
+    "ReconnectionPlan",
+    "ComponentTracker",
+    "NodeId",
+    "RoundStats",
+    "make_node_ids",
+    "Dash",
+    "Sdash",
+    "BinaryTreeHeal",
+    "DegreeBoundedHealer",
+    "GraphHeal",
+    "LineHeal",
+    "NoHeal",
+    "RandomOrderDash",
+    "StarHeal",
+    "HealEvent",
+    "SelfHealingNetwork",
+    "HEALERS",
+    "PAPER_HEALERS",
+    "healer_names",
+    "make_healer",
+]

@@ -1,0 +1,167 @@
+"""Healer framework: what a healing strategy sees and what it must produce.
+
+The paper's model (Section 1, "Our Model") is strictly local: when node
+``v`` is deleted, only the *neighbors of v* may react, they may only add
+edges *among themselves*, and they must decide fast. We encode that
+contract in types:
+
+* :class:`NeighborhoodSnapshot` is everything a healer may look at — the
+  deleted node's neighborhood in G and G′ plus per-neighbor local state
+  (component label, initial ID, degree increase δ). It is captured at
+  deletion time, *before* the topology mutates. A healer cannot reach the
+  rest of the graph through it, so locality violations are structurally
+  impossible rather than merely discouraged.
+* :class:`ReconnectionPlan` is the healer's entire output: which edges to
+  add (each endpoint must be a neighbor of the deleted node), plus
+  metadata for analysis. The :class:`~repro.core.network.SelfHealingNetwork`
+  validates and applies the plan.
+
+Healers themselves are tiny strategy objects; all shared mechanics
+(deletion, edge application, component/ID bookkeeping, δ maintenance)
+live in the network class.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import ClassVar, Hashable, Mapping
+
+from repro.core.components import NodeId
+
+__all__ = ["NeighborhoodSnapshot", "ReconnectionPlan", "Healer"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class NeighborhoodSnapshot:
+    """Local view available to a healer when ``deleted`` is removed.
+
+    All maps are keyed by the surviving G-neighbors of ``deleted``.
+    ``delta`` is δ(u) = deg_G(u) − initial-degree(u) *before* this round's
+    changes (the paper's δ_{t−1}; every participant subsequently loses its
+    edge to the deleted node, shifting all candidate δ values equally, so
+    orderings computed from this snapshot match either convention).
+    """
+
+    deleted: Node
+    #: the deleted node's component label at deletion time
+    deleted_label: NodeId
+    #: N(v, G): all surviving neighbors in the real network
+    g_neighbors: frozenset[Node]
+    #: N(v, G′): neighbors through healing edges (⊆ g_neighbors)
+    gprime_neighbors: frozenset[Node]
+    #: current component label of each G-neighbor
+    labels: Mapping[Node, NodeId]
+    #: immutable random initial ID of each G-neighbor
+    initial_ids: Mapping[Node, NodeId]
+    #: degree increase (net) of each G-neighbor before this round
+    delta: Mapping[Node, int]
+    #: current G-degree of each G-neighbor (before this round)
+    degree: Mapping[Node, int]
+
+    def unique_neighbors(self) -> list[Node]:
+        """``UN(v, G)``: one representative per foreign component.
+
+        Partition the G-neighbors that do *not* share the deleted node's
+        label by their component label, then pick the lowest-*initial*-ID
+        member of each class (the paper's tie-break). Deterministic order:
+        ascending component label.
+        """
+        classes: dict[NodeId, Node] = {}
+        for u in self.g_neighbors:
+            if u in self.gprime_neighbors:
+                # Already a participant via N(v,G′). For single deletions
+                # these carry the deleted node's label anyway; in batch
+                # (multi-victim) heals they may carry another dead tree's
+                # label, so the explicit skip keeps UN ∩ N(v,G′) = ∅.
+                continue
+            lbl = self.labels[u]
+            if lbl == self.deleted_label:
+                continue
+            best = classes.get(lbl)
+            if best is None or self.initial_ids[u] < self.initial_ids[best]:
+                classes[lbl] = u
+        return [classes[lbl] for lbl in sorted(classes)]
+
+    def participants(self) -> list[Node]:
+        """``UN(v,G) ∪ N(v,G′)``: the node set DASH-family healers rewire.
+
+        The union is disjoint (UN excludes the deleted node's label;
+        all of N(v,G′) carries it). Order: UN first (ascending label),
+        then G′-neighbors ascending initial ID — deterministic, and
+        re-sorted by δ by the healers that care.
+        """
+        un = self.unique_neighbors()
+        gp = sorted(self.gprime_neighbors, key=lambda u: self.initial_ids[u])
+        return un + gp
+
+    def sort_by_delta(self, nodes: list[Node]) -> list[Node]:
+        """Sort ascending by (δ, initial ID) — the RT layout order.
+
+        The initial-ID tie-break makes the layout deterministic; the paper
+        leaves ties unspecified.
+        """
+        return sorted(nodes, key=lambda u: (self.delta[u], self.initial_ids[u]))
+
+
+@dataclass(frozen=True)
+class ReconnectionPlan:
+    """A healer's decision for one deletion.
+
+    ``component_safe`` declares that ``participants`` is exactly
+    ``UN(v,G) ∪ N(v,G′)`` (one node per pre-round component plus every
+    G′-neighbor), which unlocks the component tracker's traversal-free
+    merge path. Healers that rewire anything else (GraphHeal) must leave
+    it ``False``.
+    """
+
+    #: nodes being rewired, in layout order (root first for trees)
+    participants: tuple[Node, ...]
+    #: edges to add, endpoints ⊆ participants
+    edges: tuple[tuple[Node, Node], ...]
+    #: layout tag: "binary-tree", "kary-tree", "line", "star", "surrogate", "none"
+    kind: str
+    component_safe: bool = False
+    #: star center for surrogate plans (None otherwise)
+    center: Node | None = None
+
+    @property
+    def num_new_edges(self) -> int:
+        return len(self.edges)
+
+
+class Healer(abc.ABC):
+    """A self-healing strategy: maps a deletion's local view to new edges.
+
+    Subclasses are cheap, mostly stateless objects. ``reset()`` is called
+    by the simulator at the start of every run so stateful healers (e.g.
+    the seeded random-order ablation) can rewind deterministically.
+    """
+
+    #: registry key and display name
+    name: ClassVar[str] = "abstract"
+
+    @abc.abstractmethod
+    def plan(self, snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
+        """Return the edges to add among the deleted node's neighbors."""
+
+    def reset(self) -> None:
+        """Reset per-run state. Default: nothing to do."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def empty_plan(snapshot: NeighborhoodSnapshot, *, component_safe: bool) -> ReconnectionPlan:
+    """A plan that adds nothing (used for trivial neighborhoods and NoHeal)."""
+    participants = (
+        tuple(snapshot.participants()) if component_safe else tuple()
+    )
+    return ReconnectionPlan(
+        participants=participants,
+        edges=(),
+        kind="none",
+        component_safe=component_safe,
+    )

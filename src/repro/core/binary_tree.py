@@ -1,0 +1,87 @@
+"""Reconstruction-structure layouts (RTs).
+
+DASH reconnects the participants of a heal "into a complete binary tree …
+go left to right, top down, mapping nodes to the complete binary tree in
+increasing order of δ value" (Algorithm 1, step 4). That is exactly heap
+ordering: position ``i`` (0-based) parents positions ``2i+1`` and
+``2i+2``, so nodes with the *smallest* degree increase land near the root
+(where degree grows) and nodes with the largest land at the leaves (where
+it does not — at least half of a complete binary tree's positions are
+leaves).
+
+The same layout generalizes to branching factor ``k`` (used by the
+M-degree-bounded healer of the lower-bound experiments) and degenerates to
+a path (the line healer of Boman et al.) or a star (SDASH's surrogation).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+__all__ = [
+    "complete_tree_edges",
+    "complete_binary_tree_edges",
+    "path_edges",
+    "star_edges",
+    "heap_parent",
+    "heap_children",
+    "leaf_positions",
+    "internal_positions",
+]
+
+Node = Hashable
+
+
+def heap_parent(position: int, branching: int = 2) -> int | None:
+    """Parent heap position; ``None`` for the root (position 0)."""
+    if position == 0:
+        return None
+    return (position - 1) // branching
+
+
+def heap_children(position: int, size: int, branching: int = 2) -> list[int]:
+    """Child heap positions of ``position`` in a tree of ``size`` slots."""
+    first = branching * position + 1
+    return [c for c in range(first, first + branching) if c < size]
+
+
+def leaf_positions(size: int, branching: int = 2) -> list[int]:
+    """Heap positions with no children."""
+    return [i for i in range(size) if branching * i + 1 >= size]
+
+
+def internal_positions(size: int, branching: int = 2) -> list[int]:
+    """Heap positions with at least one child."""
+    return [i for i in range(size) if branching * i + 1 < size]
+
+
+def complete_tree_edges(
+    ordered: Sequence[Node], branching: int = 2
+) -> list[tuple[Node, Node]]:
+    """Edges of the complete ``branching``-ary tree over ``ordered``.
+
+    ``ordered[0]`` becomes the root; ``ordered[i]`` sits at heap position
+    ``i``. Callers sort by ascending δ so that high-δ nodes become leaves.
+    Returns an empty list for fewer than two nodes.
+    """
+    if branching < 1:
+        raise ValueError(f"branching must be >= 1, got {branching}")
+    edges: list[tuple[Node, Node]] = []
+    for i in range(1, len(ordered)):
+        edges.append((ordered[(i - 1) // branching], ordered[i]))
+    return edges
+
+
+def complete_binary_tree_edges(ordered: Sequence[Node]) -> list[tuple[Node, Node]]:
+    """The DASH RT: complete binary tree in heap order over ``ordered``."""
+    return complete_tree_edges(ordered, branching=2)
+
+
+def path_edges(ordered: Sequence[Node]) -> list[tuple[Node, Node]]:
+    """A simple path through ``ordered`` (the line-heal layout)."""
+    return [(ordered[i], ordered[i + 1]) for i in range(len(ordered) - 1)]
+
+
+def star_edges(center: Node, others: Sequence[Node]) -> list[tuple[Node, Node]]:
+    """A star centered at ``center`` (the SDASH surrogation layout)."""
+    return [(center, u) for u in others if u != center]

@@ -1,0 +1,407 @@
+"""The self-healing network: deletion mechanics + healing orchestration.
+
+:class:`SelfHealingNetwork` owns all shared state of the paper's model —
+the live network G, the healing-edge graph G′ (``E′ ⊆ E``), initial
+degrees (for δ), the random node IDs, and the component tracker — and
+drives one *round* per adversarial deletion:
+
+1. snapshot the deleted node's neighborhood (the healer's entire view);
+2. remove the node from G and G′;
+3. ask the healer for a :class:`~repro.core.base.ReconnectionPlan`;
+4. validate locality (every new edge joins two former neighbors of the
+   deleted node) and apply the edges to both G and G′;
+5. run the component tracker's MINID propagation and cost accounting.
+
+The network also maintains the running maximum degree increase
+(Figure 8's statistic) incrementally: only the deleted node's neighbors
+can change degree in a round, so the update is O(|neighborhood|).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.core.base import Healer, NeighborhoodSnapshot, ReconnectionPlan
+from repro.core.components import ComponentTracker, NodeId, make_node_ids
+from repro.errors import HealingError, NodeNotFoundError, SimulationError
+from repro.graph.forest import is_forest
+from repro.graph.graph import Graph
+from repro.graph.validation import validate_graph
+from repro.utils.rng import make_rng
+
+__all__ = ["SelfHealingNetwork", "HealEvent"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class HealEvent:
+    """Everything observable about one deletion+heal round."""
+
+    step: int
+    deleted: Node
+    plan_kind: str
+    participants: tuple[Node, ...]
+    new_edges: tuple[tuple[Node, Node], ...]
+    #: edges genuinely added to G (a plan edge may already exist in G)
+    edges_added_to_g: int
+    id_changes: int
+    messages_sent: int
+    components_merged: int
+    components_after: int
+    split: bool
+
+
+class SelfHealingNetwork:
+    """A reconfigurable network healing itself with a pluggable strategy.
+
+    Parameters
+    ----------
+    graph:
+        Initial topology. The network takes ownership and mutates it; pass
+        ``graph.copy()`` to keep the original (the stretch metric does).
+    healer:
+        The healing strategy (see :mod:`repro.core.registry`).
+    seed:
+        Seed for the random node IDs of Algorithm 1's Init step.
+    check_invariants:
+        Paranoid mode: after every round, validate graph symmetry, the
+        component tracker against ground truth, and (for component-safe
+        healers) the Lemma 1 forest invariant. O(n+m) per round — meant
+        for tests, not sweeps.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        healer: Healer,
+        *,
+        seed: int | None = 0,
+        check_invariants: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.healer = healer
+        self.check_invariants = check_invariants
+        self.initial_n = graph.num_nodes
+        self.initial_degree: dict[Node, int] = graph.degrees()
+        rng = make_rng(seed)
+        self.initial_ids: dict[Node, NodeId] = make_node_ids(graph.nodes(), rng)
+        self.healing_graph = Graph(graph.nodes())
+        self.tracker = ComponentTracker(
+            graph=self.graph,
+            healing_graph=self.healing_graph,
+            initial_ids=self.initial_ids,
+        )
+        self.deleted_nodes: list[Node] = []
+        self.events: list[HealEvent] = []
+        self.peak_delta: int = 0
+        self.healer.reset()
+
+    # ------------------------------------------------------------------
+    # Per-node state
+    # ------------------------------------------------------------------
+    def delta(self, node: Node) -> int:
+        """Degree increase of ``node`` relative to its initial degree."""
+        if not self.graph.has_node(node):
+            raise NodeNotFoundError(node)
+        return self.graph.degree(node) - self.initial_degree[node]
+
+    def deltas(self) -> dict[Node, int]:
+        """δ for every surviving node."""
+        return {
+            u: self.graph.degree(u) - self.initial_degree[u]
+            for u in self.graph.nodes()
+        }
+
+    def max_delta(self) -> int:
+        """Maximum δ among *surviving* nodes (0 for an empty graph)."""
+        vals = self.deltas().values()
+        return max(vals, default=0)
+
+    def label_of(self, node: Node) -> NodeId:
+        return self.tracker.label_of(node)
+
+    @property
+    def num_alive(self) -> int:
+        return self.graph.num_nodes
+
+    # ------------------------------------------------------------------
+    # The round
+    # ------------------------------------------------------------------
+    def snapshot_neighborhood(self, node: Node) -> NeighborhoodSnapshot:
+        """Capture the healer's view of ``node``'s neighborhood (pre-deletion)."""
+        if not self.graph.has_node(node):
+            raise NodeNotFoundError(node)
+        g_nbrs = self.graph.neighbors(node)
+        gp_nbrs = (
+            self.healing_graph.neighbors(node)
+            if self.healing_graph.has_node(node)
+            else frozenset()
+        )
+        return NeighborhoodSnapshot(
+            deleted=node,
+            deleted_label=self.tracker.label_of(node),
+            g_neighbors=g_nbrs,
+            gprime_neighbors=gp_nbrs,
+            labels={u: self.tracker.label_of(u) for u in g_nbrs},
+            initial_ids={u: self.initial_ids[u] for u in g_nbrs},
+            delta={
+                u: self.graph.degree(u) - self.initial_degree[u] for u in g_nbrs
+            },
+            degree={u: self.graph.degree(u) for u in g_nbrs},
+        )
+
+    def _validate_plan(
+        self, snapshot: NeighborhoodSnapshot, plan: ReconnectionPlan
+    ) -> None:
+        allowed = snapshot.g_neighbors
+        for u in plan.participants:
+            if u not in allowed:
+                raise HealingError(
+                    f"plan participant {u!r} is not a neighbor of "
+                    f"{snapshot.deleted!r} (locality violation)"
+                )
+        for a, b in plan.edges:
+            if a == b:
+                raise HealingError(f"plan contains self-loop on {a!r}")
+            if a not in allowed or b not in allowed:
+                raise HealingError(
+                    f"plan edge ({a!r}, {b!r}) leaves the neighborhood of "
+                    f"{snapshot.deleted!r} (locality violation)"
+                )
+        if plan.component_safe:
+            expected = set(snapshot.participants())
+            if set(plan.participants) != expected:
+                raise HealingError(
+                    "component_safe plan must rewire exactly UN(v,G) ∪ N(v,G′)"
+                )
+
+    def delete_and_heal(self, node: Node) -> HealEvent:
+        """Execute one adversarial deletion followed by self-healing.
+
+        Returns the :class:`HealEvent`; also appends it to ``self.events``.
+        """
+        snapshot = self.snapshot_neighborhood(node)
+
+        # Deletion: the adversary removes the node from the real network;
+        # its healing edges disappear with it.
+        self.graph.remove_node(node)
+        if self.healing_graph.has_node(node):
+            self.healing_graph.remove_node(node)
+        self.deleted_nodes.append(node)
+
+        # Healing: the neighbors react.
+        plan = self.healer.plan(snapshot)
+        self._validate_plan(snapshot, plan)
+        added = 0
+        for a, b in plan.edges:
+            if self.graph.add_edge(a, b):
+                added += 1
+            self.healing_graph.add_edge(a, b)
+
+        # Component-ID propagation + message accounting.
+        stats = self.tracker.round(
+            deleted=node,
+            deleted_label=snapshot.deleted_label,
+            participants=tuple(plan.participants),
+            gprime_neighbors=snapshot.gprime_neighbors,
+            component_safe=plan.component_safe,
+            plan_edges=plan.edges,
+        )
+
+        # Running max degree increase: only the old neighborhood changed.
+        for u in snapshot.g_neighbors:
+            d = self.graph.degree(u) - self.initial_degree[u]
+            if d > self.peak_delta:
+                self.peak_delta = d
+
+        event = HealEvent(
+            step=len(self.deleted_nodes),
+            deleted=node,
+            plan_kind=plan.kind,
+            participants=tuple(plan.participants),
+            new_edges=tuple(plan.edges),
+            edges_added_to_g=added,
+            id_changes=stats.id_changes,
+            messages_sent=stats.messages_sent,
+            components_merged=stats.components_merged,
+            components_after=stats.components_after,
+            split=stats.split,
+        )
+        self.events.append(event)
+
+        if self.check_invariants:
+            self._check_invariants(plan)
+        return event
+
+    def delete_and_heal_many(self, nodes: Iterable[Node]) -> list[HealEvent]:
+        """Process several deletions sequentially (each healed before the
+        next), the regime under which DASH's guarantees hold (footnote 1)."""
+        return [self.delete_and_heal(u) for u in nodes]
+
+    # ------------------------------------------------------------------
+    # Simultaneous batch deletion (paper footnote 1)
+    # ------------------------------------------------------------------
+    def delete_batch_and_heal(self, victims: Iterable[Node]) -> list[HealEvent]:
+        """Delete a *set* of nodes simultaneously and heal afterwards.
+
+        The paper's footnote 1: DASH "can easily handle the situation
+        where any number of nodes are removed, so long as the
+        neighbor-of-neighbor graph remains connected". Implementation:
+        the victim set is grouped into connected components of the induced
+        subgraph G[victims]; each victim component is healed as one
+        super-deletion — its surviving boundary (the union of the members'
+        neighbors) is reconnected by the healer exactly as if a single
+        node with that neighborhood had died. Healing edges therefore
+        still join nodes within two hops of each other through dead nodes
+        (the NoN-locality the footnote requires).
+
+        Connectivity restoration holds for component-safe healers even
+        without the footnote's NoN condition: every component of
+        G − victims contains a neighbor of some victim component, and the
+        per-component reconstruction trees reconnect one representative
+        per healing-edge component plus every healing-edge neighbor of
+        the victims.
+
+        Returns one :class:`HealEvent` per victim component, in ascending
+        order of the component's minimum node label.
+        """
+        from repro.graph.traversal import induced_components
+
+        victim_set: set[Node] = set()
+        for v in victims:
+            if not self.graph.has_node(v):
+                raise NodeNotFoundError(v)
+            victim_set.add(v)
+        if not victim_set:
+            return []
+
+        comps = sorted(
+            (sorted(c) for c in induced_components(self.graph, victim_set)),
+            key=lambda c: repr(c[0]),
+        )
+
+        # Capture each component's boundary before any mutation.
+        infos = []
+        for comp in comps:
+            comp_set = set(comp)
+            g_nbrs: set[Node] = set()
+            gp_nbrs: set[Node] = set()
+            dead_labels: set[NodeId] = set()
+            for v in comp:
+                g_nbrs |= self.graph.neighbors_view(v)
+                if self.healing_graph.has_node(v):
+                    gp_nbrs |= self.healing_graph.neighbors_view(v)
+                dead_labels.add(self.tracker.label_of(v))
+            infos.append(
+                (
+                    comp,
+                    frozenset(g_nbrs - victim_set),
+                    frozenset(gp_nbrs - victim_set),
+                    dead_labels,
+                )
+            )
+
+        # The adversary strikes: all victims vanish at once.
+        for v in victim_set:
+            lbl = self.tracker.label_of(v)
+            self.graph.remove_node(v)
+            if self.healing_graph.has_node(v):
+                self.healing_graph.remove_node(v)
+            self.tracker.remove_node(v, lbl)
+            self.deleted_nodes.append(v)
+
+        # Heal each victim component.
+        events: list[HealEvent] = []
+        for comp, g_nbrs, gp_nbrs, dead_labels in infos:
+            super_node = frozenset(comp)
+            snapshot = NeighborhoodSnapshot(
+                deleted=super_node,
+                deleted_label=min(dead_labels),
+                g_neighbors=g_nbrs,
+                gprime_neighbors=gp_nbrs,
+                labels={u: self.tracker.label_of(u) for u in g_nbrs},
+                initial_ids={u: self.initial_ids[u] for u in g_nbrs},
+                delta={
+                    u: self.graph.degree(u) - self.initial_degree[u]
+                    for u in g_nbrs
+                },
+                degree={u: self.graph.degree(u) for u in g_nbrs},
+            )
+            # UN must exclude *every* dead component's label: survivors in
+            # a split tree reach the RT through their piece's G′-neighbor.
+            filtered_labels = {
+                u: lbl
+                for u, lbl in snapshot.labels.items()
+                if lbl not in dead_labels or u in gp_nbrs
+            }
+            snapshot = NeighborhoodSnapshot(
+                deleted=super_node,
+                deleted_label=snapshot.deleted_label,
+                g_neighbors=frozenset(filtered_labels),
+                gprime_neighbors=gp_nbrs,
+                labels=filtered_labels,
+                initial_ids={u: snapshot.initial_ids[u] for u in filtered_labels},
+                delta={u: snapshot.delta[u] for u in filtered_labels},
+                degree={u: snapshot.degree[u] for u in filtered_labels},
+            )
+
+            plan = self.healer.plan(snapshot)
+            self._validate_plan(snapshot, plan)
+            added = 0
+            for a, b in plan.edges:
+                if self.graph.add_edge(a, b):
+                    added += 1
+                self.healing_graph.add_edge(a, b)
+
+            stats = self.tracker.batch_round(
+                affected_labels=set(dead_labels),
+                participants=tuple(plan.participants),
+                plan_edges=plan.edges,
+            )
+            for u in g_nbrs:
+                if self.graph.has_node(u):
+                    d = self.graph.degree(u) - self.initial_degree[u]
+                    if d > self.peak_delta:
+                        self.peak_delta = d
+            event = HealEvent(
+                step=len(self.deleted_nodes),
+                deleted=super_node,
+                plan_kind=plan.kind,
+                participants=tuple(plan.participants),
+                new_edges=tuple(plan.edges),
+                edges_added_to_g=added,
+                id_changes=stats.id_changes,
+                messages_sent=stats.messages_sent,
+                components_merged=stats.components_merged,
+                components_after=stats.components_after,
+                split=stats.split,
+            )
+            self.events.append(event)
+            events.append(event)
+
+        if self.check_invariants:
+            validate_graph(self.graph)
+            validate_graph(self.healing_graph)
+            self.tracker.check_consistency()
+        return events
+
+    # ------------------------------------------------------------------
+    # Paranoid checks
+    # ------------------------------------------------------------------
+    def _check_invariants(self, plan: ReconnectionPlan) -> None:
+        validate_graph(self.graph)
+        validate_graph(self.healing_graph)
+        self.tracker.check_consistency()
+        if plan.component_safe and not is_forest(self.healing_graph):
+            raise SimulationError(
+                "Lemma 1 violated: healing graph has a cycle under a "
+                f"component-safe healer ({self.healer.name})"
+            )
+        for u in self.healing_graph.nodes():
+            if not self.graph.has_node(u):
+                raise SimulationError(f"G' node {u!r} missing from G")
+        for a, b in self.healing_graph.edges():
+            if not self.graph.has_edge(a, b):
+                raise SimulationError(f"E' edge ({a!r},{b!r}) missing from E")

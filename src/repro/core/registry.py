@@ -1,0 +1,70 @@
+"""Name → healer factory registry.
+
+Experiment specs and the CLI refer to healers by short string names; this
+module is the single source of truth for that mapping. Factories (not
+instances) are registered because some healers carry per-run state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import Healer
+from repro.core.dash import Dash
+from repro.core.naive import (
+    BinaryTreeHeal,
+    DegreeBoundedHealer,
+    DeltaOrderedGraphHeal,
+    GraphHeal,
+    LineHeal,
+    NoHeal,
+    RandomOrderDash,
+    StarHeal,
+)
+from repro.core.sdash import Sdash
+from repro.errors import ConfigurationError
+
+__all__ = ["HEALERS", "make_healer", "healer_names", "PAPER_HEALERS"]
+
+HEALERS: dict[str, Callable[[], Healer]] = {
+    NoHeal.name: NoHeal,
+    GraphHeal.name: GraphHeal,
+    DeltaOrderedGraphHeal.name: DeltaOrderedGraphHeal,
+    BinaryTreeHeal.name: BinaryTreeHeal,
+    LineHeal.name: LineHeal,
+    StarHeal.name: StarHeal,
+    Dash.name: Dash,
+    Sdash.name: Sdash,
+    RandomOrderDash.name: RandomOrderDash,
+    DegreeBoundedHealer.name: DegreeBoundedHealer,
+}
+
+#: The healers compared in the paper's figures (Section 4.3), in the
+#: order the legends list them.
+PAPER_HEALERS: tuple[str, ...] = (
+    GraphHeal.name,
+    BinaryTreeHeal.name,
+    LineHeal.name,
+    Dash.name,
+    Sdash.name,
+)
+
+
+def healer_names() -> list[str]:
+    """All registered healer names, sorted."""
+    return sorted(HEALERS)
+
+
+def make_healer(name: str, **kwargs) -> Healer:
+    """Instantiate a healer by registry name.
+
+    ``kwargs`` are forwarded to the factory (e.g.
+    ``make_healer("degree-bounded", max_increase=3)``).
+    """
+    try:
+        factory = HEALERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown healer {name!r}; available: {', '.join(healer_names())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,57 @@
+"""SDASH — Surrogate Degree-based Self-Healing (Algorithm 3).
+
+SDASH augments DASH with *surrogation*: when some participant ``w`` can
+absorb the deleted node's connections without exceeding the maximum δ
+already present among the participants, ``w`` simply replaces the deleted
+node (a star over ``S`` centered at ``w``). Surrogation never increases
+any pairwise distance — every path through the deleted node re-routes
+through ``w`` at the same length — which is why SDASH empirically keeps
+stretch low (Figure 10) while retaining DASH-like degree growth
+(Figure 8).
+
+The surrogation condition (Algorithm 3, step 5): there exists
+``w ∈ S`` with ``δ(w) + |S| − 1 ≤ δ(m)`` where ``m`` is the maximum-δ
+participant. The paper does not specify which ``w`` to use when several
+qualify; we pick the minimum-δ one (initial-ID tie-break), which
+maximizes remaining headroom. Otherwise SDASH falls back to the DASH
+binary-tree layout.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.base import Healer, NeighborhoodSnapshot, ReconnectionPlan
+from repro.core.binary_tree import complete_binary_tree_edges, star_edges
+
+__all__ = ["Sdash"]
+
+
+class Sdash(Healer):
+    """Algorithm 3: surrogate when degree-free, else DASH."""
+
+    name: ClassVar[str] = "sdash"
+
+    def plan(self, snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
+        participants = snapshot.participants()
+        if len(participants) >= 2:
+            by_delta = snapshot.sort_by_delta(participants)
+            w = by_delta[0]
+            m = by_delta[-1]
+            if snapshot.delta[w] + len(participants) - 1 <= snapshot.delta[m]:
+                others = [u for u in by_delta if u != w]
+                return ReconnectionPlan(
+                    participants=tuple([w] + others),
+                    edges=tuple(star_edges(w, others)),
+                    kind="surrogate",
+                    component_safe=True,
+                    center=w,
+                )
+        ordered = snapshot.sort_by_delta(participants)
+        edges = complete_binary_tree_edges(ordered)
+        return ReconnectionPlan(
+            participants=tuple(ordered),
+            edges=tuple(edges),
+            kind="binary-tree",
+            component_safe=True,
+        )

@@ -1,0 +1,15 @@
+"""Message-passing substrate: DASH as a genuinely distributed protocol."""
+
+from repro.distributed.engine import SyncEngine
+from repro.distributed.messages import Message, MsgKind, NodeState
+from repro.distributed.network import DistributedNetwork
+from repro.distributed.node import NodeProcess
+
+__all__ = [
+    "SyncEngine",
+    "Message",
+    "MsgKind",
+    "NodeState",
+    "DistributedNetwork",
+    "NodeProcess",
+]

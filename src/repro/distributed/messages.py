@@ -1,0 +1,72 @@
+"""Message vocabulary of the distributed self-healing protocol.
+
+The paper's model gives every node neighbor-of-neighbor (NoN) knowledge
+and assumes deletion detection; everything else must travel in messages.
+Three kinds suffice:
+
+* ``DELETION`` — the failure-detection oracle tells each neighbor of the
+  victim that it died, including the victim's final state (the victim's
+  neighbors already knew that state via NoN; carrying it in the notice
+  models "the neighbors of x become aware of this deletion").
+* ``STATE`` — a node announces its own state to its neighbors after any
+  local change; receivers store it and forward one extra hop, which is
+  precisely the "know thy neighbor's neighbor" maintenance the paper
+  cites [14, 18].
+* ``ID_UPDATE`` — the MINID propagation of Algorithm 1 step 5. A node
+  whose component ID drops announces the new ID to *all* its neighbors
+  (that is Lemma 8's message count); only recipients connected through a
+  healing edge adopt it (component membership follows G′), everyone else
+  merely refreshes their stored view of the sender.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.components import NodeId
+
+__all__ = ["MsgKind", "NodeState", "Message"]
+
+Node = Hashable
+
+
+class MsgKind(enum.Enum):
+    DELETION = "deletion"
+    STATE = "state"
+    ID_UPDATE = "id-update"
+
+
+@dataclass(frozen=True)
+class NodeState:
+    """A node's protocol-visible state, as shared over the wire.
+
+    ``version`` is a per-origin monotonic counter bumped on every local
+    state change. Receivers keep only the highest version they have seen
+    for each origin, which makes the NoN tables immune to message
+    reordering — the property that lets the protocol run unchanged on the
+    *asynchronous* (jittered-delivery) engine, beyond the paper's
+    synchronous model.
+    """
+
+    node: Node
+    initial_id: NodeId
+    label: NodeId
+    delta: int
+    g_adj: frozenset[Node]
+    gp_adj: frozenset[Node]
+    version: int = 0
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message (unit link latency)."""
+
+    kind: MsgKind
+    src: Node
+    dst: Node
+    #: NodeState for DELETION/STATE; NodeId (new label) for ID_UPDATE
+    payload: object
+    #: STATE only: whether the receiver should forward one more hop
+    forward: bool = False

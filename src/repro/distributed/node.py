@@ -1,0 +1,290 @@
+"""A node of the distributed self-healing protocol.
+
+Each :class:`NodeProcess` owns exactly the state the paper's model grants
+a node — its own adjacency (in G and G′), its component ID, its degree
+history, and NoN knowledge (the states of nodes up to two hops away) —
+and reacts to messages:
+
+* on a ``DELETION`` notice it *locally* reconstructs the healer's
+  :class:`~repro.core.base.NeighborhoodSnapshot` from its stored view,
+  runs the **same healer code** the centralized simulator runs, and adds
+  only the plan edges incident to itself. Because every neighbor of the
+  victim holds an identical (quiescent) view and healers are
+  deterministic, all participants compute the same plan independently —
+  no coordination messages are needed, which is how DASH achieves O(1)
+  reconnection latency.
+* on an ``ID_UPDATE`` it refreshes the sender's stored state, and adopts
+  the smaller ID iff the message arrived over a healing edge (component
+  identity follows G′), then floods onward — Algorithm 1's MINID
+  propagation with exactly Lemma 8's message pattern.
+* on a ``STATE`` it records the sender's state and forwards it one hop
+  when asked, maintaining the NoN tables.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.core.base import Healer, NeighborhoodSnapshot
+from repro.core.components import NodeId
+from repro.distributed.engine import SyncEngine
+from repro.distributed.messages import Message, MsgKind, NodeState
+from repro.errors import ProtocolError
+
+__all__ = ["NodeProcess"]
+
+Node = Hashable
+
+
+class NodeProcess:
+    """Protocol logic for one live node."""
+
+    def __init__(
+        self,
+        node: Node,
+        initial_id: NodeId,
+        neighbors: frozenset[Node],
+        healer: Healer,
+        engine: SyncEngine,
+    ) -> None:
+        self.node = node
+        self.initial_id = initial_id
+        self.label: NodeId = initial_id
+        self.g_adj: set[Node] = set(neighbors)
+        self.gp_adj: set[Node] = set()
+        self.initial_degree = len(neighbors)
+        self.healer = healer
+        self.engine = engine
+        #: stored states of 1- and 2-hop nodes (the NoN tables)
+        self.known: dict[Node, NodeState] = {}
+        self.id_changes = 0
+        #: monotonic state-version counter (see NodeState.version)
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Own state
+    # ------------------------------------------------------------------
+    @property
+    def delta(self) -> int:
+        return len(self.g_adj) - self.initial_degree
+
+    def state(self) -> NodeState:
+        return NodeState(
+            node=self.node,
+            initial_id=self.initial_id,
+            label=self.label,
+            delta=self.delta,
+            g_adj=frozenset(self.g_adj),
+            gp_adj=frozenset(self.gp_adj),
+            version=self._version,
+        )
+
+    def bump_version(self) -> None:
+        """Mark a local state change; newer snapshots supersede older ones
+        regardless of network delivery order."""
+        self._version += 1
+
+    def learn(self, state: NodeState) -> None:
+        """Store ``state`` unless a fresher snapshot of the same origin is
+        already known (version check ⇒ reorder-safe under jitter)."""
+        current = self.known.get(state.node)
+        if current is None or state.version >= current.version:
+            self.known[state.node] = state
+
+    def forget(self, node: Node) -> None:
+        self.known.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # Outbound helpers
+    # ------------------------------------------------------------------
+    def broadcast_state(self) -> None:
+        """Announce own state to all neighbors, asking them to forward one
+        hop (NoN maintenance)."""
+        snapshot = self.state()
+        for nbr in self.g_adj:
+            self.engine.send(
+                Message(
+                    kind=MsgKind.STATE,
+                    src=self.node,
+                    dst=nbr,
+                    payload=snapshot,
+                    forward=True,
+                )
+            )
+
+    def announce_id(self) -> None:
+        """Send the (just lowered) component ID to every neighbor."""
+        for nbr in self.g_adj:
+            self.engine.send(
+                Message(
+                    kind=MsgKind.ID_UPDATE,
+                    src=self.node,
+                    dst=nbr,
+                    payload=self.state(),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> None:
+        if message.kind is MsgKind.DELETION:
+            self._on_deletion(message.payload)  # type: ignore[arg-type]
+        elif message.kind is MsgKind.STATE:
+            self._on_state(message)
+        elif message.kind is MsgKind.ID_UPDATE:
+            self._on_id_update(message)
+        else:  # pragma: no cover - enum is closed
+            raise ProtocolError(f"unknown message kind {message.kind!r}")
+
+    # ------------------------------------------------------------------
+    # STATE / NoN maintenance
+    # ------------------------------------------------------------------
+    def _on_state(self, message: Message) -> None:
+        state: NodeState = message.payload  # type: ignore[assignment]
+        self.learn(state)
+        if message.forward:
+            for nbr in self.g_adj:
+                if nbr != state.node and nbr != message.src:
+                    self.engine.send(
+                        Message(
+                            kind=MsgKind.STATE,
+                            src=self.node,
+                            dst=nbr,
+                            payload=state,
+                            forward=False,
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # ID_UPDATE / MINID propagation
+    # ------------------------------------------------------------------
+    def _on_id_update(self, message: Message) -> None:
+        state: NodeState = message.payload  # type: ignore[assignment]
+        self.learn(state)
+        new_label = state.label
+        if message.src in self.gp_adj and new_label < self.label:
+            self.label = new_label
+            self.id_changes += 1
+            self.bump_version()
+            self.announce_id()
+            # Keep 2-hop NoN tables fresh: the label is part of the state
+            # that neighbors' neighbors consult when healing.
+            self.broadcast_state()
+
+    # ------------------------------------------------------------------
+    # DELETION / healing
+    # ------------------------------------------------------------------
+    def _on_deletion(self, victim_state: NodeState) -> None:
+        victim = victim_state.node
+        if victim not in self.g_adj:
+            raise ProtocolError(
+                f"{self.node!r} notified about non-neighbor {victim!r}"
+            )
+
+        snapshot = self._local_snapshot(victim_state)
+        # Apply the deletion to own adjacency (after snapshotting: δ and
+        # degree in the snapshot are pre-deletion values, matching the
+        # centralized simulator).
+        self.g_adj.discard(victim)
+        self.gp_adj.discard(victim)
+        self.forget(victim)
+
+        plan = self.healer.plan(snapshot)
+
+        participants = set(plan.participants)
+        new_neighbors: list[Node] = []
+        for a, b in plan.edges:
+            if self.node == a or self.node == b:
+                other = b if self.node == a else a
+                if other not in self.g_adj:
+                    new_neighbors.append(other)
+                self.g_adj.add(other)
+                self.gp_adj.add(other)
+
+        # Adjacency (and hence δ) changed: new snapshot generation.
+        self.bump_version()
+
+        # NoN repair for the fresh links: a new neighbor is two hops from
+        # all of our existing neighbors, so ship it their states (our own
+        # state follows via broadcast_state below, and theirs reach our
+        # old neighbors through the forward flag).
+        for other in new_neighbors:
+            self._sync_neighborhood_to(other)
+
+        # MINID adoption (Algorithm 1 step 5): every participant knows all
+        # participant labels from the shared snapshot, so it adopts
+        # immediately; propagation to the rest of the merged component
+        # rides on ID_UPDATE flooding.
+        if self.node in participants and participants:
+            minid = min(
+                snapshot.labels[u] if u != self.node else self.label
+                for u in participants
+            )
+            if minid < self.label:
+                self.label = minid
+                self.id_changes += 1
+                self.bump_version()
+                self.announce_id()
+
+        # Adjacency and δ changed: refresh the NoN tables.
+        self.broadcast_state()
+
+    def _sync_neighborhood_to(self, other: Node) -> None:
+        """Send ``other`` our stored states of all current neighbors.
+
+        Called when the healing plan makes ``other`` a new neighbor. A
+        concurrently-healing neighbor's state may be one round stale here;
+        its own post-heal broadcast overwrites it a round later (sends are
+        FIFO per round, so the fresh copy always lands last).
+        """
+        for nbr in self.g_adj:
+            if nbr == other:
+                continue
+            state = self.known.get(nbr)
+            if state is not None:
+                self.engine.send(
+                    Message(
+                        kind=MsgKind.STATE,
+                        src=self.node,
+                        dst=other,
+                        payload=state,
+                        forward=False,
+                    )
+                )
+
+    def _local_snapshot(self, victim_state: NodeState) -> NeighborhoodSnapshot:
+        """Reconstruct the healer's view from local NoN knowledge only."""
+        victim = victim_state.node
+        g_neighbors = frozenset(victim_state.g_adj - {victim})
+        labels: dict[Node, NodeId] = {}
+        initial_ids: dict[Node, NodeId] = {}
+        delta: dict[Node, int] = {}
+        degree: dict[Node, int] = {}
+        for u in g_neighbors:
+            if u == self.node:
+                labels[u] = self.label
+                initial_ids[u] = self.initial_id
+                delta[u] = self.delta
+                degree[u] = len(self.g_adj)
+                continue
+            state = self.known.get(u)
+            if state is None:
+                raise ProtocolError(
+                    f"{self.node!r} lacks NoN state for {u!r} "
+                    f"(2-hop via {victim!r}); maintenance is broken"
+                )
+            labels[u] = state.label
+            initial_ids[u] = state.initial_id
+            delta[u] = state.delta
+            degree[u] = len(state.g_adj)
+        return NeighborhoodSnapshot(
+            deleted=victim,
+            deleted_label=victim_state.label,
+            g_neighbors=g_neighbors,
+            gprime_neighbors=frozenset(victim_state.gp_adj),
+            labels=labels,
+            initial_ids=initial_ids,
+            delta=delta,
+            degree=degree,
+        )

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch library-specific failures with a single ``except``
+clause while letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node referenced by an operation is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by an operation is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node was added twice where duplicates are disallowed."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is already in the graph")
+        self.node = node
+
+
+class SelfLoopError(GraphError, ValueError):
+    """A self-loop was requested; the substrate models simple graphs only."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"self-loop on node {node!r} is not allowed")
+        self.node = node
+
+
+class HealingError(ReproError):
+    """A healing strategy was asked to do something impossible.
+
+    Examples: healing a deletion of a node that is still present, or a
+    reconstruction that would violate the strategy's own invariants.
+    """
+
+
+class AdversaryError(ReproError):
+    """An attack strategy failed to produce a valid target."""
+
+
+class SimulationError(ReproError):
+    """The attack/heal simulation loop reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid experiment, generator, or engine configuration."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol message was malformed or unexpected."""
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A paper invariant (forest property, degree bound, ...) was violated.
+
+    Raised by :mod:`repro.analysis.invariants` checkers when running in
+    enforcing mode; tests rely on these to detect algorithmic regressions.
+    """

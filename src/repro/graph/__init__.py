@@ -1,0 +1,71 @@
+"""Graph substrate: dynamic simple graphs, traversal, distances, generators."""
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_order,
+    bfs_parents,
+    connected_component,
+    connected_components,
+    is_connected,
+    same_component,
+)
+from repro.graph.distance import (
+    all_pairs_distances,
+    average_path_length,
+    diameter,
+    distance_matrix,
+    eccentricity,
+)
+from repro.graph.forest import is_forest, is_tree
+from repro.graph.generators import (
+    GENERATORS,
+    complete_graph,
+    complete_kary_tree,
+    cycle_graph,
+    erdos_renyi,
+    gnm_random,
+    grid_graph,
+    kary_tree_size,
+    path_graph,
+    preferential_attachment,
+    random_tree,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.validation import validate_graph
+
+__all__ = [
+    "Graph",
+    "bfs_distances",
+    "bfs_order",
+    "bfs_parents",
+    "connected_component",
+    "connected_components",
+    "is_connected",
+    "same_component",
+    "all_pairs_distances",
+    "average_path_length",
+    "diameter",
+    "distance_matrix",
+    "eccentricity",
+    "is_forest",
+    "is_tree",
+    "GENERATORS",
+    "complete_graph",
+    "complete_kary_tree",
+    "cycle_graph",
+    "erdos_renyi",
+    "gnm_random",
+    "grid_graph",
+    "kary_tree_size",
+    "path_graph",
+    "preferential_attachment",
+    "random_tree",
+    "star_graph",
+    "watts_strogatz",
+    "read_edge_list",
+    "write_edge_list",
+    "validate_graph",
+]

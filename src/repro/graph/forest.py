@@ -1,0 +1,73 @@
+"""Forest/tree predicates.
+
+Lemma 1 of the paper: the healing-edge graph G′ maintained by DASH is
+always a forest. The invariant checkers and property-based tests call
+these predicates after every heal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import connected_components, is_connected
+
+__all__ = ["is_forest", "is_tree", "count_trees", "forest_excess_edges"]
+
+Node = Hashable
+
+
+def is_forest(graph: Graph) -> bool:
+    """``True`` iff the graph is acyclic.
+
+    A graph is a forest iff every connected component with k nodes has
+    exactly k−1 edges; we verify it with a single BFS sweep that detects
+    cross edges, which short-circuits on the first cycle.
+    """
+    seen: set[Node] = set()
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        parent: dict[Node, Node | None] = {start: None}
+        frontier: deque[Node] = deque([start])
+        while frontier:
+            u = frontier.popleft()
+            for v in graph.neighbors_view(u):
+                if v not in parent:
+                    parent[v] = u
+                    frontier.append(v)
+                elif parent[u] != v:
+                    # v already visited via another path: cycle.
+                    return False
+        seen |= parent.keys()
+    return True
+
+
+def is_tree(graph: Graph) -> bool:
+    """``True`` iff the graph is connected and acyclic (and non-empty)."""
+    if graph.num_nodes == 0:
+        return False
+    return graph.num_edges == graph.num_nodes - 1 and is_connected(graph)
+
+
+def count_trees(graph: Graph) -> int:
+    """Number of connected components, assuming the graph is a forest.
+
+    (For a non-forest this still returns the component count; the name
+    reflects the dominant use in the G′ bookkeeping.)
+    """
+    return len(connected_components(graph))
+
+
+def forest_excess_edges(graph: Graph) -> int:
+    """How many edges beyond forest-ness the graph carries.
+
+    0 iff the graph is a forest; equals ``m − (n − #components)``. Used by
+    the naive GraphHeal analysis to quantify how many redundant edges a
+    cycle-oblivious healer wastes.
+    """
+    n = graph.num_nodes
+    m = graph.num_edges
+    c = len(connected_components(graph))
+    return m - (n - c)

@@ -1,0 +1,143 @@
+"""Breadth-first traversal primitives: components, connectivity, distances.
+
+These are the inner loops of both the healing algorithms (component
+queries) and the metrics (stretch, connectivity checks), so they are
+written iteratively with deque frontiers and live adjacency views.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable
+
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_order",
+    "bfs_parents",
+    "connected_component",
+    "connected_components",
+    "is_connected",
+    "same_component",
+]
+
+Node = Hashable
+
+
+def bfs_distances(graph: Graph, source: Node) -> dict[Node, int]:
+    """Hop distance from ``source`` to every reachable node (including 0 to itself)."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    dist: dict[Node, int] = {source: 0}
+    frontier: deque[Node] = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        du = dist[u]
+        for v in graph.neighbors_view(u):
+            if v not in dist:
+                dist[v] = du + 1
+                frontier.append(v)
+    return dist
+
+
+def bfs_order(graph: Graph, source: Node) -> list[Node]:
+    """Nodes reachable from ``source`` in BFS discovery order."""
+    return list(bfs_distances(graph, source))
+
+
+def bfs_parents(graph: Graph, source: Node) -> dict[Node, Node | None]:
+    """BFS tree parents; the source maps to ``None``."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    parent: dict[Node, Node | None] = {source: None}
+    frontier: deque[Node] = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v in graph.neighbors_view(u):
+            if v not in parent:
+                parent[v] = u
+                frontier.append(v)
+    return parent
+
+
+def connected_component(graph: Graph, source: Node) -> set[Node]:
+    """The set of nodes in ``source``'s connected component."""
+    return set(bfs_distances(graph, source))
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """All connected components, each as a node set.
+
+    Components are returned in order of their first node's insertion, so
+    the output is deterministic for a deterministically built graph.
+    """
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        comp = connected_component(graph, node)
+        seen |= comp
+        components.append(comp)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """``True`` iff the graph has ≤1 node or a single component.
+
+    The paper's central invariant: after every heal, the surviving graph
+    must satisfy this.
+    """
+    n = graph.num_nodes
+    if n <= 1:
+        return True
+    first = next(iter(graph.nodes()))
+    return len(connected_component(graph, first)) == n
+
+
+def same_component(graph: Graph, u: Node, v: Node) -> bool:
+    """``True`` iff ``u`` and ``v`` are connected. Early-exits the BFS."""
+    if not graph.has_node(u):
+        raise NodeNotFoundError(u)
+    if not graph.has_node(v):
+        raise NodeNotFoundError(v)
+    if u == v:
+        return True
+    seen: set[Node] = {u}
+    frontier: deque[Node] = deque([u])
+    while frontier:
+        x = frontier.popleft()
+        for y in graph.neighbors_view(x):
+            if y == v:
+                return True
+            if y not in seen:
+                seen.add(y)
+                frontier.append(y)
+    return False
+
+
+def induced_components(graph: Graph, nodes: Iterable[Node]) -> list[set[Node]]:
+    """Connected components of the subgraph induced on ``nodes``.
+
+    Used by tests to cross-check the healers' component-ID bookkeeping
+    against ground truth.
+    """
+    node_set = {u for u in nodes if graph.has_node(u)}
+    seen: set[Node] = set()
+    comps: list[set[Node]] = []
+    for start in node_set:
+        if start in seen:
+            continue
+        comp = {start}
+        frontier: deque[Node] = deque([start])
+        while frontier:
+            u = frontier.popleft()
+            for v in graph.neighbors_view(u):
+                if v in node_set and v not in comp:
+                    comp.add(v)
+                    frontier.append(v)
+        seen |= comp
+        comps.append(comp)
+    return comps

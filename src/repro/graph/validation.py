@@ -1,0 +1,37 @@
+"""Structural validation for :class:`~repro.graph.graph.Graph`.
+
+Used in tests and by the simulator's paranoid mode to verify the adjacency
+structure never goes inconsistent under the heavy mutation churn of
+attack/heal loops.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvariantViolation
+from repro.graph.graph import Graph
+
+__all__ = ["validate_graph"]
+
+
+def validate_graph(graph: Graph) -> None:
+    """Raise :class:`InvariantViolation` unless the graph is internally sound.
+
+    Checks: adjacency symmetry, no self-loops, no dangling endpoints, and
+    the cached edge count agreeing with the adjacency sets.
+    """
+    half_edges = 0
+    for u in graph.nodes():
+        for v in graph.neighbors_view(u):
+            if v == u:
+                raise InvariantViolation(f"self-loop on {u!r}")
+            if not graph.has_node(v):
+                raise InvariantViolation(f"dangling endpoint {v!r} (from {u!r})")
+            if u not in graph.neighbors_view(v):
+                raise InvariantViolation(f"asymmetric edge ({u!r}, {v!r})")
+            half_edges += 1
+    if half_edges % 2 != 0:
+        raise InvariantViolation("odd number of adjacency half-edges")
+    if half_edges // 2 != graph.num_edges:
+        raise InvariantViolation(
+            f"edge count cache {graph.num_edges} != actual {half_edges // 2}"
+        )

@@ -1,0 +1,46 @@
+"""Per-figure experiment drivers (the paper's evaluation, regenerated)."""
+
+from repro.harness.ablations import run_ablation_components, run_ablation_order
+from repro.harness.common import DEFAULT_SEED, FigureResult, build_figure
+from repro.harness.extensions import (
+    run_batch_waves,
+    run_capacity_collapse,
+    run_topology_matrix,
+)
+from repro.harness.fig8 import run_fig8, spec_fig8
+from repro.harness.fig9 import run_fig9
+from repro.harness.fig10 import run_fig10, spec_fig10
+from repro.harness.theorem1 import run_theorem1
+from repro.harness.theorem2 import run_theorem2
+
+__all__ = [
+    "run_ablation_components",
+    "run_ablation_order",
+    "DEFAULT_SEED",
+    "FigureResult",
+    "build_figure",
+    "run_batch_waves",
+    "run_capacity_collapse",
+    "run_topology_matrix",
+    "run_fig8",
+    "spec_fig8",
+    "run_fig9",
+    "run_fig10",
+    "spec_fig10",
+    "run_theorem1",
+    "run_theorem2",
+]
+
+#: registry used by the CLI: name → callable returning FigureResult(s)
+FIGURES = {
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "theorem1": run_theorem1,
+    "theorem2": run_theorem2,
+    "ablation-order": run_ablation_order,
+    "ablation-components": run_ablation_components,
+    "capacity": run_capacity_collapse,
+    "topology-matrix": run_topology_matrix,
+    "batch-waves": run_batch_waves,
+}

@@ -1,0 +1,94 @@
+"""Ablations of DASH's two design choices (called out in DESIGN.md).
+
+DASH = (component tracking) + (δ-ordered RT placement) + (binary tree).
+The paper motivates both ingredients (Section 3.1 for components,
+Section 2.1 for δ-ordering); these ablations quantify each one:
+
+* **order** — DASH vs. the same algorithm with a *random* RT layout
+  (``dash-random-order``) vs. the δ-oblivious initial-ID layout
+  (``binary-tree-heal``). Isolates δ-aware placement.
+* **components** — DASH vs. δ-ordered GraphHeal (``graph-heal-delta``):
+  both place by δ; only DASH rewires one node per component. Isolates
+  component tracking (the paper's Section 3.1 argument).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.harness.common import DEFAULT_SEED, FigureResult, build_figure
+from repro.sim.experiment import ExperimentSpec
+
+__all__ = ["run_ablation_order", "run_ablation_components", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES: tuple[int, ...] = (50, 100, 200, 350)
+
+
+def _spec(name: str, healers: tuple[str, ...], sizes, repetitions, master_seed):
+    return ExperimentSpec(
+        name=name,
+        generator="preferential_attachment",
+        generator_params={"m": 2},
+        sizes=tuple(sizes),
+        healers=healers,
+        adversary="neighbor-of-max",
+        repetitions=repetitions,
+        master_seed=master_seed,
+    )
+
+
+def run_ablation_order(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repetitions: int = 15,
+    *,
+    master_seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
+    out_dir: str | Path | None = None,
+    progress: bool = False,
+) -> FigureResult:
+    """δ-ordered vs random vs ID-ordered RT layout."""
+    spec = _spec(
+        "ablation_order",
+        ("dash", "dash-random-order", "binary-tree-heal"),
+        sizes,
+        repetitions,
+        master_seed,
+    )
+    return build_figure(
+        name="ablation_order",
+        description="RT layout order ablation (max degree increase, NMS)",
+        spec=spec,
+        value="max_degree_increase",
+        jobs=jobs,
+        out_dir=out_dir,
+        progress=progress,
+    )
+
+
+def run_ablation_components(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repetitions: int = 15,
+    *,
+    master_seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
+    out_dir: str | Path | None = None,
+    progress: bool = False,
+) -> FigureResult:
+    """Component tracking on (dash) vs off (graph-heal-delta)."""
+    spec = _spec(
+        "ablation_components",
+        ("dash", "graph-heal-delta"),
+        sizes,
+        repetitions,
+        master_seed,
+    )
+    return build_figure(
+        name="ablation_components",
+        description="component tracking ablation (max degree increase, NMS)",
+        spec=spec,
+        value="max_degree_increase",
+        jobs=jobs,
+        out_dir=out_dir,
+        progress=progress,
+    )

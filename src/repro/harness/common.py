@@ -1,0 +1,128 @@
+"""Shared plumbing for the per-figure experiment drivers.
+
+Every driver produces a :class:`FigureResult`: the raw sweep, the
+aggregated per-series table (the rows the paper's figure plots), an ASCII
+chart of the same series, and optionally a CSV on disk. Benchmarks print
+the table; the CLI prints both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.sim.experiment import ExperimentSpec, run_experiment
+from repro.sim.results import ResultSet
+from repro.utils.ascii_chart import ascii_line_chart
+from repro.utils.tables import format_table, write_csv
+
+__all__ = ["FigureResult", "series_table", "build_figure", "DEFAULT_SEED"]
+
+#: master seed used by every figure unless overridden (the venue year)
+DEFAULT_SEED = 2008
+
+
+@dataclass
+class FigureResult:
+    """One regenerated paper figure."""
+
+    name: str
+    description: str
+    #: x-axis values (graph sizes, tree depths, ...)
+    x_values: list[float]
+    #: series name → y values aligned with ``x_values``
+    series: dict[str, list[float]] = field(default_factory=dict)
+    #: aggregated table (what the paper's plot shows)
+    table: str = ""
+    #: ASCII rendering of the series
+    chart: str = ""
+    #: the raw per-repetition rows
+    results: ResultSet | None = None
+    csv_path: Path | None = None
+
+    def summary(self) -> str:
+        parts = [f"== {self.name}: {self.description} =="]
+        if self.table:
+            parts.append(self.table)
+        if self.chart:
+            parts.append(self.chart)
+        return "\n".join(parts)
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    extra: Mapping[str, Sequence[float]] | None = None,
+    title: str | None = None,
+) -> str:
+    """Tabulate aligned series (plus reference-envelope columns)."""
+    cols = dict(series)
+    if extra:
+        cols.update(extra)
+    headers = [x_label] + list(cols)
+    rows = [
+        [x] + [cols[name][i] for name in cols] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def build_figure(
+    *,
+    name: str,
+    description: str,
+    spec: ExperimentSpec,
+    value: str,
+    extra_envelopes: Mapping[str, Sequence[float]] | None = None,
+    jobs: int | None = None,
+    out_dir: str | Path | None = None,
+    progress: bool = False,
+    results: ResultSet | None = None,
+) -> FigureResult:
+    """Run ``spec`` (unless ``results`` is supplied), aggregate ``value``
+    per (healer, size), and package the figure artifacts."""
+    if results is None:
+        results = run_experiment(spec, jobs=jobs, progress=progress)
+    series_raw = results.series("size", value, group_by="healer")
+    x_values = sorted({x for xs, _ in series_raw.values() for x in xs})
+    series: dict[str, list[float]] = {}
+    for healer, (xs, ys) in sorted(series_raw.items()):
+        lookup = dict(zip(xs, ys))
+        series[str(healer)] = [lookup.get(x, float("nan")) for x in x_values]
+
+    fig = FigureResult(
+        name=name,
+        description=description,
+        x_values=[float(x) for x in x_values],
+        series=series,
+        results=results,
+    )
+    fig.table = series_table(
+        "n",
+        x_values,
+        series,
+        extra=extra_envelopes,
+        title=f"{name}: {description} (mean of {spec.repetitions} runs)",
+    )
+    chart_series = dict(series)
+    if extra_envelopes:
+        chart_series.update({k: list(v) for k, v in extra_envelopes.items()})
+    fig.chart = ascii_line_chart(
+        [float(x) for x in x_values],
+        chart_series,
+        title=f"{name} ({value})",
+    )
+    if out_dir is not None:
+        out = Path(out_dir)
+        fig.csv_path = write_csv(
+            out / f"{name}.csv",
+            ["n"] + list(series),
+            [
+                [x] + [series[s][i] for s in series]
+                for i, x in enumerate(x_values)
+            ],
+        )
+        results.write_csv(out / f"{name}_raw.csv")
+    return fig

@@ -1,0 +1,81 @@
+"""Figure 10 — "Stretch for various algorithms".
+
+Paper setup (Section 4.6.3): the MaxNode attack is the most effective at
+increasing stretch, so the figure uses it. Stretch is the max over node
+pairs of (current distance / original distance), measured as the network
+shrinks; we record the running maximum (measurements stop once fewer than
+10% of nodes survive, where ratios degenerate).
+
+Expected shape: the naive high-degree healers (GraphHeal especially)
+achieve *low* stretch — they buy short paths with huge hub degrees —
+DASH pays noticeably more stretch, and SDASH brings stretch back down to
+near-naive levels while keeping DASH-like degree increase (its surrogation
+step never lengthens a path).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.registry import PAPER_HEALERS
+from repro.harness.common import DEFAULT_SEED, FigureResult, build_figure
+from repro.sim.experiment import ExperimentSpec
+
+__all__ = ["spec_fig10", "run_fig10", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES: tuple[int, ...] = (50, 100, 200, 300)
+
+
+def spec_fig10(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repetitions: int = 30,
+    master_seed: int = DEFAULT_SEED,
+    *,
+    stretch_period: int = 1,
+    stretch_samples: int | None = None,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig10",
+        generator="preferential_attachment",
+        generator_params={"m": 2},
+        sizes=tuple(sizes),
+        healers=tuple(PAPER_HEALERS),
+        adversary="max-node",
+        repetitions=repetitions,
+        master_seed=master_seed,
+        measure_stretch=True,
+        stretch_period=stretch_period,
+        stretch_samples=stretch_samples,
+        connectivity_period=1,
+    )
+
+
+def run_fig10(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repetitions: int = 30,
+    *,
+    master_seed: int = DEFAULT_SEED,
+    stretch_period: int = 1,
+    stretch_samples: int | None = None,
+    jobs: int | None = None,
+    out_dir: str | Path | None = None,
+    progress: bool = False,
+) -> FigureResult:
+    """Regenerate Figure 10 (max stretch, MaxNode attack)."""
+    spec = spec_fig10(
+        sizes,
+        repetitions,
+        master_seed,
+        stretch_period=stretch_period,
+        stretch_samples=stretch_samples,
+    )
+    return build_figure(
+        name="fig10",
+        description="max stretch under MaxNode attack",
+        spec=spec,
+        value="max_stretch",
+        jobs=jobs,
+        out_dir=out_dir,
+        progress=progress,
+    )

@@ -1,0 +1,69 @@
+"""Figure 9 — component-ID maintenance costs.
+
+(a) the maximum number of times any node's ID changes — the paper's
+record-breaking bound says < 2·ln n w.h.p. for every healing strategy;
+(b) the maximum number of messages any node sends+receives for ID
+maintenance — strategies with higher degree increase pay more, because a
+node announces each ID change to every current neighbor.
+
+Same sweep as Figure 8 (BA graphs, NeighborOfMax, 30 instances); the two
+panels are different columns of the same experiment, so ``run_fig9``
+executes the sweep once and derives both.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.registry import PAPER_HEALERS
+from repro.harness.common import DEFAULT_SEED, FigureResult, build_figure
+from repro.harness.fig8 import spec_fig8
+from repro.sim.results import ResultSet
+
+__all__ = ["run_fig9", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES: tuple[int, ...] = (50, 100, 200, 350, 500)
+
+
+def run_fig9(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repetitions: int = 30,
+    *,
+    master_seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
+    out_dir: str | Path | None = None,
+    progress: bool = False,
+    results: ResultSet | None = None,
+) -> tuple[FigureResult, FigureResult]:
+    """Regenerate Figures 9(a) and 9(b) from one sweep."""
+    spec = spec_fig8(sizes, repetitions, master_seed, healers=PAPER_HEALERS)
+    spec = spec.with_overrides(name="fig9")
+    xs = sorted(sizes)
+    ln_env = {
+        "ln(n)": [math.log(n) for n in xs],
+        "2*ln(n)": [2 * math.log(n) for n in xs],
+    }
+    fig_a = build_figure(
+        name="fig9a",
+        description="max ID changes per node under NeighborOfMax attack",
+        spec=spec,
+        value="max_id_changes",
+        extra_envelopes=ln_env,
+        jobs=jobs,
+        out_dir=out_dir,
+        progress=progress,
+        results=results,
+    )
+    fig_b = build_figure(
+        name="fig9b",
+        description="max ID-maintenance messages per node (sent+received)",
+        spec=spec,
+        value="max_messages",
+        jobs=jobs,
+        out_dir=out_dir,
+        progress=progress,
+        results=fig_a.results,  # reuse the sweep
+    )
+    return fig_a, fig_b

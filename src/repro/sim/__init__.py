@@ -1,0 +1,50 @@
+"""Simulation layer: the attack/heal loop, metrics, experiments, sweeps."""
+
+from repro.sim.experiment import ExperimentSpec, expand_tasks, run_experiment, run_task
+from repro.sim.metrics import (
+    ComponentMetric,
+    ConnectivityMetric,
+    DegreeMetric,
+    EdgeBudgetMetric,
+    IdChangeMetric,
+    LatencyMetric,
+    MessageMetric,
+    Metric,
+    StretchMetric,
+    default_metrics,
+)
+from repro.sim.parallel import default_jobs, run_tasks
+from repro.sim.results import ResultRow, ResultSet
+from repro.sim.simulator import SimulationResult, run_simulation
+from repro.sim.stretch import StretchComputer, StretchReport
+from repro.sim.trace import Trace, TraceRecorder, load_trace, replay_trace, save_trace
+
+__all__ = [
+    "ExperimentSpec",
+    "expand_tasks",
+    "run_experiment",
+    "run_task",
+    "ComponentMetric",
+    "ConnectivityMetric",
+    "DegreeMetric",
+    "EdgeBudgetMetric",
+    "IdChangeMetric",
+    "LatencyMetric",
+    "MessageMetric",
+    "Metric",
+    "StretchMetric",
+    "default_metrics",
+    "default_jobs",
+    "run_tasks",
+    "ResultRow",
+    "ResultSet",
+    "SimulationResult",
+    "run_simulation",
+    "StretchComputer",
+    "StretchReport",
+    "Trace",
+    "TraceRecorder",
+    "load_trace",
+    "replay_trace",
+    "save_trace",
+]

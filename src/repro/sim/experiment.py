@@ -1,0 +1,189 @@
+"""Experiment specification and sweep runner.
+
+An :class:`ExperimentSpec` captures the full parameterization of one
+paper-style experiment: graph family, sizes, healers, adversary,
+repetitions, and which statistics to collect. :func:`run_experiment`
+expands it to (size × healer × repetition) tasks, runs them (optionally
+across processes — see :mod:`repro.sim.parallel`), and returns a
+:class:`~repro.sim.results.ResultSet`.
+
+Seeding discipline: graph, ID, and attack seeds derive from
+``(master_seed, size, repetition)`` but NOT from the healer, so every
+healer faces the *identical* graph instance and attack randomness at each
+repetition — a paired design that removes instance variance from the
+cross-healer comparisons the paper's figures make.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.adversary import make_adversary
+from repro.core.registry import make_healer
+from repro.errors import ConfigurationError
+from repro.graph.generators import GENERATORS
+from repro.sim.metrics import (
+    ConnectivityMetric,
+    Metric,
+    StretchMetric,
+    default_metrics,
+)
+from repro.sim.results import ResultSet
+from repro.sim.simulator import run_simulation
+from repro.utils.rng import derive_seed
+
+__all__ = ["ExperimentSpec", "run_experiment", "run_task", "expand_tasks"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Parameterization of one sweep (all fields picklable)."""
+
+    name: str
+    #: graph generator registry key (see repro.graph.generators.GENERATORS)
+    generator: str = "preferential_attachment"
+    #: extra generator kwargs (``n`` and ``seed`` are injected per task)
+    generator_params: Mapping[str, object] = field(default_factory=dict)
+    sizes: Sequence[int] = (100,)
+    healers: Sequence[str] = ("dash",)
+    #: healer kwargs per healer name (optional)
+    healer_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    adversary: str = "neighbor-of-max"
+    adversary_params: Mapping[str, object] = field(default_factory=dict)
+    #: independent graph instances per (size, healer); the paper uses 30
+    repetitions: int = 30
+    master_seed: int = 2008
+    #: stop once ≤ this many nodes survive (0 = total destruction)
+    stop_alive: int = 0
+    max_deletions: int | None = None
+    #: connectivity-check cadence (rounds); 0 disables the check
+    connectivity_period: int = 1
+    measure_stretch: bool = False
+    stretch_period: int = 1
+    stretch_samples: int | None = None
+    check_invariants: bool = False
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        if self.generator not in GENERATORS:
+            raise ConfigurationError(f"unknown generator {self.generator!r}")
+        for n in self.sizes:
+            if n < 2:
+                raise ConfigurationError(f"sizes must be >= 2, got {n}")
+
+    def with_overrides(self, **kwargs) -> "ExperimentSpec":
+        """A copy with fields replaced (for CLI --sizes/--reps overrides)."""
+        return replace(self, **kwargs)
+
+
+def _accepts_seed(factory) -> bool:
+    try:
+        sig = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - C factories
+        return False
+    return "seed" in sig.parameters
+
+
+def _build_graph(spec: ExperimentSpec, n: int, seed: int):
+    factory = GENERATORS[spec.generator]
+    kwargs = dict(spec.generator_params)
+    if _accepts_seed(factory):
+        kwargs.setdefault("seed", seed)
+    if "n" in inspect.signature(factory).parameters:
+        kwargs["n"] = n
+    return factory(**kwargs)
+
+
+def run_task(spec: ExperimentSpec, size: int, healer_name: str, rep: int) -> tuple[dict, dict]:
+    """Run one (size, healer, repetition) cell; returns (params, values).
+
+    Module-level and picklable so process pools can execute it.
+    """
+    graph_seed = derive_seed(spec.master_seed, spec.name, "graph", size, rep)
+    id_seed = derive_seed(spec.master_seed, spec.name, "ids", size, rep)
+    attack_seed = derive_seed(spec.master_seed, spec.name, "attack", size, rep)
+    stretch_seed = derive_seed(spec.master_seed, spec.name, "stretch", size, rep)
+
+    graph = _build_graph(spec, size, graph_seed)
+    original = graph.copy() if spec.measure_stretch else None
+
+    healer_kwargs = dict(spec.healer_params.get(healer_name, {}))
+    from repro.core.registry import HEALERS
+
+    if _accepts_seed(HEALERS[healer_name]):
+        healer_kwargs.setdefault("seed", id_seed)
+    healer = make_healer(healer_name, **healer_kwargs)
+
+    adv_kwargs = dict(spec.adversary_params)
+    from repro.adversary import ADVERSARIES
+
+    if _accepts_seed(ADVERSARIES[spec.adversary]):
+        adv_kwargs.setdefault("seed", attack_seed)
+    adversary = make_adversary(spec.adversary, **adv_kwargs)
+
+    metrics: list[Metric] = default_metrics()
+    if spec.connectivity_period > 0:
+        metrics.append(ConnectivityMetric(period=spec.connectivity_period))
+    if spec.measure_stretch:
+        assert original is not None
+        metrics.append(
+            StretchMetric(
+                original,
+                period=spec.stretch_period,
+                sample_sources=spec.stretch_samples,
+                seed=stretch_seed,
+            )
+        )
+
+    result = run_simulation(
+        graph,
+        healer,
+        adversary,
+        id_seed=id_seed,
+        metrics=metrics,
+        stop_alive=spec.stop_alive,
+        max_deletions=spec.max_deletions,
+        check_invariants=spec.check_invariants,
+    )
+    params = {
+        "experiment": spec.name,
+        "size": size,
+        "healer": healer_name,
+        "adversary": spec.adversary,
+        "rep": rep,
+    }
+    values = dict(result.values)
+    values["deletions"] = float(result.deletions)
+    values["final_alive"] = float(result.final_alive)
+    return params, values
+
+
+def expand_tasks(spec: ExperimentSpec) -> list[tuple[ExperimentSpec, int, str, int]]:
+    """All (spec, size, healer, rep) cells of the sweep, in a cache-friendly
+    order (largest sizes last so progress output front-loads fast cells)."""
+    return [
+        (spec, size, healer, rep)
+        for size in sorted(spec.sizes)
+        for healer in spec.healers
+        for rep in range(spec.repetitions)
+    ]
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    jobs: int | None = None,
+    progress: bool = False,
+) -> ResultSet:
+    """Run the full sweep; ``jobs`` > 1 shards cells over processes."""
+    from repro.sim.parallel import run_tasks
+
+    tasks = expand_tasks(spec)
+    outputs = run_tasks(tasks, jobs=jobs, progress=progress)
+    results = ResultSet()
+    for params, values in outputs:
+        results.add(params, values)
+    return results

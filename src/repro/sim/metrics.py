@@ -1,0 +1,308 @@
+"""Metric trackers for the attack/heal loop.
+
+Each metric observes every :class:`~repro.core.network.HealEvent` and
+contributes named scalars to the simulation result. The set matches what
+the paper reports:
+
+========================  =====================================
+paper artifact            metric
+========================  =====================================
+Fig. 8 (degree increase)  :class:`DegreeMetric`
+Fig. 9(a) (ID changes)    :class:`IdChangeMetric`
+Fig. 9(b) (messages)      :class:`MessageMetric`
+Fig. 10 (stretch)         :class:`StretchMetric`
+Thm. 1 (latency)          :class:`LatencyMetric`
+connectivity invariant    :class:`ConnectivityMetric`
+healing edge budget       :class:`EdgeBudgetMetric`
+========================  =====================================
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import connected_components, is_connected
+from repro.sim.stretch import StretchComputer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import HealEvent, SelfHealingNetwork
+
+__all__ = [
+    "Metric",
+    "DegreeMetric",
+    "IdChangeMetric",
+    "MessageMetric",
+    "LatencyMetric",
+    "ConnectivityMetric",
+    "ComponentMetric",
+    "CapacityMetric",
+    "EdgeBudgetMetric",
+    "StretchMetric",
+    "default_metrics",
+]
+
+
+class Metric(abc.ABC):
+    """Observes heal events; reports named scalar results."""
+
+    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+        """Called after each deletion+heal round."""
+
+    @abc.abstractmethod
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        """Called once at run end; returns {metric_name: value}."""
+
+
+class DegreeMetric(Metric):
+    """Fig. 8: maximum degree increase of any node over the whole run."""
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        return {
+            "max_degree_increase": float(network.peak_delta),
+            "final_max_degree_increase": float(network.max_delta()),
+            "final_max_degree": float(network.graph.max_degree()),
+        }
+
+
+class IdChangeMetric(Metric):
+    """Fig. 9(a): per-node ID-change counts (max and mean over nodes)."""
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        changes = network.tracker.id_changes
+        vals = list(changes.values())
+        n = len(vals) or 1
+        return {
+            "max_id_changes": float(max(vals, default=0)),
+            "mean_id_changes": float(sum(vals)) / n,
+            "total_id_changes": float(sum(vals)),
+        }
+
+
+class MessageMetric(Metric):
+    """Fig. 9(b): ID-maintenance messages per node (sent + received)."""
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        tr = network.tracker
+        per_node = {
+            u: tr.messages_sent.get(u, 0) + tr.messages_received.get(u, 0)
+            for u in tr.messages_sent
+        }
+        vals = list(per_node.values())
+        n = len(vals) or 1
+        return {
+            "max_messages": float(max(vals, default=0)),
+            "mean_messages": float(sum(vals)) / n,
+            "total_messages_sent": float(sum(tr.messages_sent.values())),
+        }
+
+
+class LatencyMetric(Metric):
+    """Theorem 1 latency accounting.
+
+    Reconnection latency is O(1) per round by construction (all healing
+    edges join ex-neighbors — one hop). Propagation latency per round is
+    the number of ID-change transmissions, the quantity the paper
+    amortizes to O(log n) per deletion over Θ(n) deletions.
+    """
+
+    def __init__(self) -> None:
+        self._per_round: list[int] = []
+
+    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+        self._per_round.append(event.id_changes)
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        rounds = len(self._per_round) or 1
+        total = sum(self._per_round)
+        return {
+            "amortized_propagation": total / rounds,
+            "max_round_propagation": float(max(self._per_round, default=0)),
+            "total_propagation": float(total),
+        }
+
+
+class ConnectivityMetric(Metric):
+    """The central invariant: does healing preserve connectivity?
+
+    ``period`` trades fidelity for speed (checks cost O(n+m) each).
+    The first failing step is recorded; a graph that shrank to ≤1 node
+    counts as connected.
+    """
+
+    def __init__(self, period: int = 1) -> None:
+        self.period = max(1, period)
+        self.first_disconnect: int | None = None
+        self._round = 0
+
+    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+        self._round += 1
+        if self.first_disconnect is not None:
+            return
+        if self._round % self.period == 0 and not is_connected(network.graph):
+            self.first_disconnect = self._round
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        if self.first_disconnect is None and not is_connected(network.graph):
+            self.first_disconnect = self._round
+        return {
+            "always_connected": 1.0 if self.first_disconnect is None else 0.0,
+            "first_disconnect_step": float(self.first_disconnect or -1),
+        }
+
+
+class ComponentMetric(Metric):
+    """Tracks fragmentation (interesting for NoHeal and broken healers)."""
+
+    def __init__(self, period: int = 1) -> None:
+        self.period = max(1, period)
+        self.max_components = 1
+        self._round = 0
+
+    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+        self._round += 1
+        if self._round % self.period == 0 and network.graph.num_nodes:
+            c = len(connected_components(network.graph))
+            self.max_components = max(self.max_components, c)
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        return {"max_components": float(self.max_components)}
+
+
+class EdgeBudgetMetric(Metric):
+    """How many edges the healer spends (GraphHeal wastes many)."""
+
+    def __init__(self) -> None:
+        self.total_planned = 0
+        self.total_new_in_g = 0
+        self.max_per_round = 0
+
+    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+        planned = len(event.new_edges)
+        self.total_planned += planned
+        self.total_new_in_g += event.edges_added_to_g
+        self.max_per_round = max(self.max_per_round, planned)
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        return {
+            "healing_edges_planned": float(self.total_planned),
+            "healing_edges_new": float(self.total_new_in_g),
+            "max_edges_per_round": float(self.max_per_round),
+        }
+
+
+class StretchMetric(Metric):
+    """Fig. 10: running max (and last) stretch vs. the original graph.
+
+    Parameters
+    ----------
+    original:
+        Pristine copy of the initial graph (the simulator provides it).
+    period:
+        Measure every ``period`` deletions (each measurement costs an
+        APSP on the survivors).
+    sample_sources:
+        Forwarded to :class:`~repro.sim.stretch.StretchComputer`.
+    min_alive_fraction:
+        Stop measuring once fewer than this fraction of nodes survive —
+        with only a handful of survivors stretch ratios degenerate (the
+        paper's plots likewise show stretch while the network is
+        meaningfully large).
+    """
+
+    def __init__(
+        self,
+        original: Graph,
+        *,
+        period: int = 1,
+        sample_sources: int | None = None,
+        seed: int = 0,
+        min_alive_fraction: float = 0.1,
+    ) -> None:
+        self._computer = StretchComputer(
+            original, sample_sources=sample_sources, seed=seed
+        )
+        self.period = max(1, period)
+        self.min_alive = max(2, int(original.num_nodes * min_alive_fraction))
+        self.max_stretch = 0.0
+        self.last_stretch = float("nan")
+        self.ever_disconnected = False
+        self._round = 0
+
+    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+        self._round += 1
+        if self._round % self.period:
+            return
+        if network.graph.num_nodes < self.min_alive:
+            return
+        report = self._computer.measure(network.graph)
+        if report.disconnected_pairs:
+            self.ever_disconnected = True
+        if report.pairs and report.max_stretch == report.max_stretch:  # not nan
+            self.max_stretch = max(self.max_stretch, report.max_stretch)
+            self.last_stretch = report.max_stretch
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        return {
+            "max_stretch": self.max_stretch,
+            "last_stretch": self.last_stretch,
+            "stretch_ever_disconnected": 1.0 if self.ever_disconnected else 0.0,
+        }
+
+
+class CapacityMetric(Metric):
+    """When does the adversary *win*? (Section 4.2's victory condition.)
+
+    "The aim of the adversary is to collapse the network by trying to
+    overload a node beyond it's maximum capacity." We model node capacity
+    as ``headroom`` extra connections beyond the initial degree: a node
+    collapses when δ(u) > headroom. The metric records the first round at
+    which any node collapses (−1 = the healer never let it happen), which
+    turns the paper's motivation into a measurable survival time.
+    """
+
+    def __init__(self, headroom: int) -> None:
+        if headroom < 0:
+            raise ValueError(f"headroom must be >= 0, got {headroom}")
+        self.headroom = headroom
+        self.first_collapse: int | None = None
+        self.collapsed_nodes = 0
+        self._round = 0
+
+    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+        self._round += 1
+        over = 0
+        for u in event.participants:
+            if network.graph.has_node(u):
+                delta = network.graph.degree(u) - network.initial_degree[u]
+                if delta > self.headroom:
+                    over += 1
+        if over:
+            self.collapsed_nodes += over
+            if self.first_collapse is None:
+                self.first_collapse = self._round
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        return {
+            "first_collapse_step": float(
+                self.first_collapse if self.first_collapse is not None else -1
+            ),
+            "survived_rounds": float(
+                self._round
+                if self.first_collapse is None
+                else self.first_collapse - 1
+            ),
+        }
+
+
+def default_metrics() -> list[Metric]:
+    """The always-on metric set (everything except stretch, which needs
+    the original graph and is costly)."""
+    return [
+        DegreeMetric(),
+        IdChangeMetric(),
+        MessageMetric(),
+        LatencyMetric(),
+        EdgeBudgetMetric(),
+    ]

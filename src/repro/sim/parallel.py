@@ -1,0 +1,80 @@
+"""Process-parallel execution of experiment sweeps.
+
+Experiment cells are embarrassingly parallel and fully determined by
+their (spec, size, healer, repetition) tuple, so we shard them over a
+``ProcessPoolExecutor`` — the standard-library analogue of the
+"independent tasks + explicit task descriptors, no shared state" MPI
+idiom. Determinism is preserved because every cell derives its own seeds
+from the spec (see :mod:`repro.sim.experiment`); results are returned in
+task order regardless of completion order.
+
+``jobs=None`` or ``jobs<=1`` runs serially in-process, which is also the
+fallback when the platform cannot fork (the worker function and specs are
+picklable, so spawn works too, just slower to start).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.sim.experiment import run_task
+
+__all__ = ["run_tasks", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """A sensible process count: CPU count capped at 8 (sweeps are
+    memory-light but short; beyond 8 the pool startup dominates)."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def _run_cell(task) -> tuple[dict, dict]:
+    spec, size, healer, rep = task
+    return run_task(spec, size, healer, rep)
+
+
+def run_tasks(
+    tasks: Sequence[tuple],
+    *,
+    jobs: int | None = None,
+    progress: bool = False,
+) -> list[tuple[dict, dict]]:
+    """Execute sweep cells, serially or across processes.
+
+    Parameters
+    ----------
+    tasks:
+        ``(spec, size, healer, rep)`` tuples from
+        :func:`repro.sim.experiment.expand_tasks`.
+    jobs:
+        Number of worker processes. ``None``/0/1 → serial.
+    progress:
+        Print a one-line progress ticker to stderr.
+    """
+    total = len(tasks)
+    outputs: list[tuple[dict, dict]] = []
+
+    def tick(done: int) -> None:
+        if progress:
+            print(
+                f"\r  [{done}/{total}] cells complete", end="", file=sys.stderr
+            )
+            if done == total:
+                print(file=sys.stderr)
+
+    if not jobs or jobs <= 1:
+        for i, task in enumerate(tasks, 1):
+            outputs.append(_run_cell(task))
+            tick(i)
+        return outputs
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        done = 0
+        for out in pool.map(_run_cell, tasks, chunksize=max(1, total // (jobs * 4))):
+            outputs.append(out)
+            done += 1
+            tick(done)
+    return outputs

@@ -1,0 +1,132 @@
+"""Result collection and aggregation for experiment sweeps.
+
+A sweep produces one :class:`ResultRow` per (parameter-point, repetition);
+:class:`ResultSet` groups and summarizes them the way the paper's figures
+do (mean over 30 instances per graph size per strategy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.utils.stats import Summary, summarize
+from repro.utils.tables import format_table, write_csv
+
+__all__ = ["ResultRow", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One simulation's parameters and measured values."""
+
+    params: Mapping[str, object]
+    values: Mapping[str, float]
+
+    def get(self, key: str) -> object:
+        """Look up ``key`` in params first, then values."""
+        if key in self.params:
+            return self.params[key]
+        return self.values[key]
+
+
+@dataclass
+class ResultSet:
+    """An append-only collection of rows with group-by aggregation."""
+
+    rows: list[ResultRow] = field(default_factory=list)
+
+    def add(self, params: Mapping[str, object], values: Mapping[str, float]) -> None:
+        self.rows.append(ResultRow(dict(params), dict(values)))
+
+    def extend(self, other: "ResultSet") -> None:
+        self.rows.extend(other.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def filter(self, **conditions: object) -> "ResultSet":
+        """Rows whose params match every condition exactly."""
+        out = ResultSet()
+        for row in self.rows:
+            if all(row.params.get(k) == v for k, v in conditions.items()):
+                out.rows.append(row)
+        return out
+
+    def aggregate(
+        self, group_by: Sequence[str], value: str
+    ) -> dict[tuple[object, ...], Summary]:
+        """Summarize ``value`` within each distinct ``group_by`` key tuple."""
+        buckets: dict[tuple[object, ...], list[float]] = {}
+        for row in self.rows:
+            key = tuple(row.get(k) for k in group_by)
+            buckets.setdefault(key, []).append(float(row.values[value]))
+        return {k: summarize(v) for k, v in sorted(buckets.items(), key=repr)}
+
+    def series(
+        self,
+        x_key: str,
+        value: str,
+        *,
+        group_by: str,
+    ) -> dict[object, tuple[list[object], list[float]]]:
+        """Per-``group_by`` (x, mean-y) series, for figures.
+
+        Returns ``{group: ([x...], [mean(value)...])}`` with x sorted.
+        """
+        agg = self.aggregate((group_by, x_key), value)
+        out: dict[object, tuple[list[object], list[float]]] = {}
+        for (grp, x), summary in agg.items():
+            xs, ys = out.setdefault(grp, ([], []))
+            xs.append(x)
+            ys.append(summary.mean)
+        for grp, (xs, ys) in out.items():
+            order = sorted(range(len(xs)), key=lambda i: repr(xs[i]))
+            out[grp] = ([xs[i] for i in order], [ys[i] for i in order])
+        return out
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def param_keys(self) -> list[str]:
+        keys: list[str] = []
+        for row in self.rows:
+            for k in row.params:
+                if k not in keys:
+                    keys.append(k)
+        return keys
+
+    def value_keys(self) -> list[str]:
+        keys: list[str] = []
+        for row in self.rows:
+            for k in row.values:
+                if k not in keys:
+                    keys.append(k)
+        return keys
+
+    def to_table(self, *, title: str | None = None) -> str:
+        """Raw rows as an ASCII table (params then values)."""
+        pk, vk = self.param_keys(), self.value_keys()
+        rows = [
+            [row.params.get(k, "") for k in pk]
+            + [row.values.get(k, float("nan")) for k in vk]
+            for row in self.rows
+        ]
+        return format_table(pk + vk, rows, title=title)
+
+    def write_csv(self, path: str | Path) -> Path:
+        pk, vk = self.param_keys(), self.value_keys()
+        rows = [
+            [row.params.get(k, "") for k in pk]
+            + [row.values.get(k, "") for k in vk]
+            for row in self.rows
+        ]
+        return write_csv(path, pk + vk, rows)
+
+    @classmethod
+    def merged(cls, parts: Iterable["ResultSet"]) -> "ResultSet":
+        out = cls()
+        for part in parts:
+            out.extend(part)
+        return out

@@ -1,0 +1,131 @@
+"""The attack/heal simulation loop (Section 4.1's methodology).
+
+    "Repeat while there are nodes in the graph: delete a single node
+    according to the deletion strategy; repair according to the
+    self-healing strategy; measure the statistics."
+
+:func:`run_simulation` wires a graph, a healer, an adversary, and a set of
+metrics into that loop and returns a :class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from repro.adversary.base import Adversary
+from repro.core.base import Healer
+from repro.core.network import HealEvent, SelfHealingNetwork
+from repro.errors import ConfigurationError, SimulationError
+from repro.graph.graph import Graph
+from repro.sim.metrics import Metric
+
+__all__ = ["SimulationResult", "run_simulation"]
+
+Node = Hashable
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated attack campaign."""
+
+    initial_n: int
+    deletions: int
+    final_alive: int
+    #: max degree increase of any node at any time (Fig. 8's statistic)
+    peak_delta: int
+    #: merged outputs of every metric's ``finalize``
+    values: dict[str, float] = field(default_factory=dict)
+    #: per-round events (only when ``keep_events=True``)
+    events: list[HealEvent] | None = None
+    #: the final network (topology after the campaign)
+    network: SelfHealingNetwork | None = None
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+
+def run_simulation(
+    graph: Graph,
+    healer: Healer,
+    adversary: Adversary,
+    *,
+    id_seed: int = 0,
+    metrics: Sequence[Metric] = (),
+    stop_alive: int = 0,
+    max_deletions: int | None = None,
+    check_invariants: bool = False,
+    keep_events: bool = False,
+    keep_network: bool = False,
+) -> SimulationResult:
+    """Run one campaign: attack until exhaustion (or a stop condition).
+
+    Parameters
+    ----------
+    graph:
+        Initial topology; **consumed** (mutated). Copy it first if needed.
+    healer, adversary:
+        The strategies under test.
+    id_seed:
+        Seed for the DASH node IDs (Algorithm 1, Init).
+    metrics:
+        Metric trackers; their ``finalize`` outputs merge into
+        ``result.values`` (duplicate names raise).
+    stop_alive:
+        Stop once at most this many nodes survive (0 = delete everything,
+        the paper's default).
+    max_deletions:
+        Hard cap on rounds (None = unlimited).
+    check_invariants:
+        Forwarded to :class:`SelfHealingNetwork` (paranoid mode).
+    keep_events / keep_network:
+        Retain the per-round event list / the final network on the result
+        (off by default to keep sweep memory flat).
+    """
+    if stop_alive < 0:
+        raise ConfigurationError(f"stop_alive must be >= 0, got {stop_alive}")
+    if max_deletions is not None and max_deletions < 0:
+        raise ConfigurationError(
+            f"max_deletions must be >= 0, got {max_deletions}"
+        )
+
+    network = SelfHealingNetwork(
+        graph, healer, seed=id_seed, check_invariants=check_invariants
+    )
+    adversary.reset(network)
+
+    deletions = 0
+    while network.num_alive > max(stop_alive, 0) and network.num_alive > 0:
+        if max_deletions is not None and deletions >= max_deletions:
+            break
+        victim = adversary.choose_target(network)
+        if victim is None:
+            break
+        if not network.graph.has_node(victim):
+            raise SimulationError(
+                f"adversary {adversary.name} chose dead node {victim!r}"
+            )
+        event = network.delete_and_heal(victim)
+        deletions += 1
+        for metric in metrics:
+            metric.on_event(network, event)
+
+    values: dict[str, float] = {}
+    for metric in metrics:
+        out = metric.finalize(network)
+        overlap = values.keys() & out.keys()
+        if overlap:
+            raise ConfigurationError(
+                f"duplicate metric names: {sorted(overlap)}"
+            )
+        values.update(out)
+
+    return SimulationResult(
+        initial_n=network.initial_n,
+        deletions=deletions,
+        final_alive=network.num_alive,
+        peak_delta=network.peak_delta,
+        values=values,
+        events=list(network.events) if keep_events else None,
+        network=network if keep_network else None,
+    )

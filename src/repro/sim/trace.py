@@ -1,0 +1,159 @@
+"""Campaign traces: record, persist, and replay attack/heal runs.
+
+A trace captures everything needed to re-execute a campaign bit-for-bit —
+the initial graph, the node-ID seed, the healer name, and the realized
+deletion order — plus a per-round fingerprint (plan kind, edges added,
+ID changes) used to *verify* the replay. Traces serve three purposes:
+
+* reproducing a surprising run from a sweep (the experiment spec's seeds
+  pin the campaign; the trace pins it portably, including across code
+  changes that would alter seed derivation);
+* regression-testing healer behaviour against recorded golden traces;
+* comparing healers on the *identical* deletion sequence (replay the
+  victims against a different healer via
+  :class:`~repro.adversary.scripted.ScriptedAttack`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+from repro.sim.metrics import Metric
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import HealEvent, SelfHealingNetwork
+
+__all__ = ["Trace", "TraceRecorder", "save_trace", "load_trace", "replay_trace"]
+
+
+@dataclass
+class Trace:
+    """A recorded campaign."""
+
+    healer: str
+    id_seed: int
+    #: node labels in the original graph's iteration order. Preserved
+    #: because random node IDs are assigned in iteration order; a replay
+    #: must reproduce it exactly or every tie-break shifts.
+    nodes: list[int]
+    #: edge list of the initial graph (sorted, canonical orientation)
+    edges: list[list[int]]
+    #: realized deletion order
+    victims: list[int] = field(default_factory=list)
+    #: per-round fingerprints: [plan_kind, num_edges, id_changes]
+    fingerprints: list[list] = field(default_factory=list)
+
+    def initial_graph(self) -> Graph:
+        g = Graph(self.nodes)
+        for u, v in self.edges:
+            g.add_edge(u, v)
+        return g
+
+
+class TraceRecorder(Metric):
+    """Metric-shaped recorder; attach to ``run_simulation(metrics=[...])``.
+
+    Parameters
+    ----------
+    graph:
+        The initial graph (captured before the simulator consumes it).
+    healer_name, id_seed:
+        Stored so the trace is self-contained.
+    """
+
+    def __init__(self, graph: Graph, healer_name: str, id_seed: int) -> None:
+        edges = []
+        for u, v in graph.edges():
+            a, b = (u, v) if repr(u) <= repr(v) else (v, u)
+            edges.append([a, b])
+        edges.sort(key=repr)
+        self.trace = Trace(
+            healer=healer_name,
+            id_seed=id_seed,
+            nodes=list(graph.nodes()),
+            edges=edges,
+        )
+
+    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+        self.trace.victims.append(event.deleted)
+        self.trace.fingerprints.append(
+            [event.plan_kind, len(event.new_edges), event.id_changes]
+        )
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        return {"trace_rounds": float(len(self.trace.victims))}
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Serialize a trace as JSON (node labels must be JSON-compatible)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "repro-trace-v1",
+        "healer": trace.healer,
+        "id_seed": trace.id_seed,
+        "nodes": trace.nodes,
+        "edges": trace.edges,
+        "victims": trace.victims,
+        "fingerprints": trace.fingerprints,
+    }
+    p.write_text(json.dumps(payload, indent=1))
+    return p
+
+
+def load_trace(path: str | Path) -> Trace:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-trace-v1":
+        raise SimulationError(f"{path}: not a repro trace file")
+    return Trace(
+        healer=payload["healer"],
+        id_seed=payload["id_seed"],
+        nodes=list(payload["nodes"]),
+        edges=[list(e) for e in payload["edges"]],
+        victims=list(payload["victims"]),
+        fingerprints=[list(f) for f in payload["fingerprints"]],
+    )
+
+
+def replay_trace(trace: Trace, *, healer_name: str | None = None, verify: bool = True):
+    """Re-execute a trace; returns the :class:`SimulationResult`.
+
+    With ``verify=True`` (and the original healer) every round's
+    fingerprint must match the recording — any divergence raises
+    :class:`~repro.errors.SimulationError` naming the round. Passing a
+    different ``healer_name`` replays the same *victims* against another
+    strategy (fingerprints are then not checked).
+    """
+    from repro.adversary.scripted import ScriptedAttack
+    from repro.core.registry import make_healer
+    from repro.sim.simulator import run_simulation
+
+    target_healer = healer_name or trace.healer
+    check = verify and target_healer == trace.healer
+
+    result = run_simulation(
+        trace.initial_graph(),
+        make_healer(target_healer),
+        ScriptedAttack(trace.victims),
+        id_seed=trace.id_seed,
+        keep_events=True,
+    )
+    if check:
+        assert result.events is not None
+        if len(result.events) != len(trace.fingerprints):
+            raise SimulationError(
+                f"replay produced {len(result.events)} rounds, "
+                f"trace has {len(trace.fingerprints)}"
+            )
+        for i, (event, fp) in enumerate(zip(result.events, trace.fingerprints)):
+            got = [event.plan_kind, len(event.new_edges), event.id_changes]
+            if got != fp:
+                raise SimulationError(
+                    f"replay diverged at round {i + 1}: {got} != {fp}"
+                )
+    return result

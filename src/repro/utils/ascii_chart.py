@@ -1,0 +1,83 @@
+"""Minimal dependency-free ASCII line charts.
+
+matplotlib is not available in the reproduction environment, so the figure
+drivers render each paper figure as (a) a CSV series and (b) an ASCII chart
+good enough to eyeball the *shape* (who wins, growth trend, crossovers).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_chart"]
+
+_MARKS = "ox+*#@%&$~"
+
+
+def ascii_line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against shared ``x_values``.
+
+    Each series gets a distinct mark character; a legend is appended.
+    Raises ``ValueError`` when a series length disagrees with the x axis.
+    """
+    if not x_values:
+        raise ValueError("ascii_line_chart() needs at least one x value")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points but x axis has {len(x_values)}"
+            )
+    # NaN marks "no data for this x" (sparse sweeps); such points are
+    # skipped rather than plotted.
+    all_y = [y for ys in series.values() for y in ys if y == y]
+    if not all_y:
+        raise ValueError("ascii_line_chart() needs at least one finite point")
+
+    y_min = min(all_y)
+    y_max = max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min = min(x_values)
+    x_max = max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(sorted(series.items())):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in zip(x_values, ys):
+            if y != y:  # NaN: no data point here
+                continue
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.2f}"
+    bot_label = f"{y_min:.2f}"
+    label_w = max(len(top_label), len(bot_label))
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(label_w)
+        elif i == height - 1:
+            label = bot_label.rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row_chars)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    lines.append(
+        " " * label_w
+        + f"  x: {x_min:g} .. {x_max:g}"
+    )
+    for idx, name in enumerate(sorted(series)):
+        lines.append(f"   {_MARKS[idx % len(_MARKS)]} = {name}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""ASCII table rendering and CSV output for experiment results.
+
+The benchmark harness prints the same rows the paper's figures plot; these
+helpers keep the formatting consistent across every figure driver.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "write_csv"]
+
+
+def _cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed monospace table.
+
+    Floats are formatted with ``float_fmt``; all other values via ``str``.
+    Column widths adapt to content. Returns the table as a string (callers
+    print it) so tests can assert on the exact rendering.
+    """
+    str_rows = [[_cell(v, float_fmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(sep + "\n")
+    out.write("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |\n")
+    out.write(sep + "\n")
+    for row in str_rows:
+        out.write("| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |\n")
+    out.write(sep)
+    return out.getvalue()
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write ``rows`` to ``path`` as CSV, creating parent directories.
+
+    Returns the resolved path for logging convenience.
+    """
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return p

@@ -1,0 +1,10 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this package.
+PAPER = (
+    "Saia, Jared & Trehan, Amitabh. "
+    '"Picking up the Pieces: Self-Healing in Reconfigurable Networks." '
+    "IEEE IPDPS/IPPS 2008. arXiv:0801.3710."
+)

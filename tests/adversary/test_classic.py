@@ -1,0 +1,122 @@
+"""Tests for the classic attack strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.classic import (
+    MaxDeltaNeighborAttack,
+    MaxNodeAttack,
+    MinDegreeAttack,
+    NeighborOfMaxAttack,
+    RandomAttack,
+)
+from repro.core.dash import Dash
+from repro.core.network import SelfHealingNetwork
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.graph import Graph
+
+
+def net_of(graph) -> SelfHealingNetwork:
+    return SelfHealingNetwork(graph, Dash(), seed=0)
+
+
+class TestMaxNode:
+    def test_picks_hub(self):
+        net = net_of(star_graph(6))
+        adv = MaxNodeAttack()
+        adv.reset(net)
+        assert adv.choose_target(net) == 0
+
+    def test_tie_break_smallest_label(self):
+        net = net_of(path_graph(4))  # degrees: 1,2,2,1
+        adv = MaxNodeAttack()
+        adv.reset(net)
+        assert adv.choose_target(net) == 1
+
+    def test_empty_graph_returns_none(self):
+        net = net_of(Graph())
+        adv = MaxNodeAttack()
+        adv.reset(net)
+        assert adv.choose_target(net) is None
+
+
+class TestNeighborOfMax:
+    def test_targets_a_neighbor_of_hub(self):
+        net = net_of(star_graph(6))
+        adv = NeighborOfMaxAttack(seed=1)
+        adv.reset(net)
+        target = adv.choose_target(net)
+        assert target in {1, 2, 3, 4, 5}
+
+    def test_isolated_hub_targets_hub(self):
+        g = Graph([0, 1])
+        net = net_of(g)
+        adv = NeighborOfMaxAttack(seed=1)
+        adv.reset(net)
+        assert adv.choose_target(net) in {0, 1}
+
+    def test_deterministic_by_seed(self):
+        picks_a = []
+        picks_b = []
+        for picks, seed in ((picks_a, 5), (picks_b, 5)):
+            net = net_of(star_graph(10))
+            adv = NeighborOfMaxAttack(seed=seed)
+            adv.reset(net)
+            for _ in range(5):
+                picks.append(adv.choose_target(net))
+        assert picks_a == picks_b
+
+    def test_reset_rewinds(self):
+        net = net_of(star_graph(10))
+        adv = NeighborOfMaxAttack(seed=2)
+        adv.reset(net)
+        first = adv.choose_target(net)
+        adv.reset(net)
+        assert adv.choose_target(net) == first
+
+
+class TestRandom:
+    def test_only_live_targets(self):
+        net = net_of(path_graph(10))
+        adv = RandomAttack(seed=3)
+        adv.reset(net)
+        for _ in range(9):
+            v = adv.choose_target(net)
+            assert net.graph.has_node(v)
+            net.delete_and_heal(v)
+        assert net.num_alive == 1
+
+    def test_empty_none(self):
+        net = net_of(Graph())
+        adv = RandomAttack(seed=0)
+        adv.reset(net)
+        assert adv.choose_target(net) is None
+
+
+class TestMinDegree:
+    def test_picks_leaf(self):
+        net = net_of(star_graph(5))
+        adv = MinDegreeAttack()
+        adv.reset(net)
+        assert adv.choose_target(net) == 1  # smallest-label leaf
+
+
+class TestMaxDeltaNeighbor:
+    def test_initially_targets_neighbor_of_smallest_label(self):
+        net = net_of(path_graph(4))
+        adv = MaxDeltaNeighborAttack(seed=0)
+        adv.reset(net)
+        # all δ = 0 → tie-break on label picks node 0; its only nbr is 1
+        assert adv.choose_target(net) == 1
+
+    def test_chases_delta(self):
+        g = star_graph(6)
+        net = net_of(g)
+        net.delete_and_heal(0)  # creates a positive-δ node
+        adv = MaxDeltaNeighborAttack(seed=0)
+        adv.reset(net)
+        deltas = net.deltas()
+        hot = max(sorted(deltas), key=lambda u: deltas[u])
+        target = adv.choose_target(net)
+        assert target in net.graph.neighbors(hot) or target == hot

@@ -1,0 +1,95 @@
+"""Tests for the closed-form theory envelopes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    dash_degree_bound,
+    expected_records,
+    harmonic,
+    id_change_bound,
+    kary_depth,
+    levelattack_forced_increase,
+    message_bound,
+)
+from repro.graph.generators import kary_tree_size
+
+
+class TestDegreeBound:
+    def test_values(self):
+        assert dash_degree_bound(2) == 2.0
+        assert dash_degree_bound(1024) == 20.0
+        assert dash_degree_bound(1) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dash_degree_bound(0)
+
+    def test_monotone(self):
+        vals = [dash_degree_bound(n) for n in (2, 4, 8, 100, 1000)]
+        assert vals == sorted(vals)
+
+
+class TestIdChangeBound:
+    def test_values(self):
+        assert id_change_bound(1) == 0.0
+        assert id_change_bound(math.e.__ceil__()) > 0
+
+    def test_matches_formula(self):
+        assert id_change_bound(100) == pytest.approx(2 * math.log(100))
+
+
+class TestMessageBound:
+    def test_zero_for_tiny(self):
+        assert message_bound(5, 1) == 0.0
+
+    def test_grows_with_degree(self):
+        assert message_bound(10, 100) > message_bound(1, 100)
+
+
+class TestHarmonicRecords:
+    def test_harmonic_values(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_harmonic_close_to_ln(self):
+        assert harmonic(1000) == pytest.approx(math.log(1000), abs=0.6)
+
+    def test_expected_records_is_harmonic(self):
+        assert expected_records(10) == harmonic(10)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+
+class TestKaryDepth:
+    def test_exact_sizes(self):
+        for b in (2, 3, 4):
+            for d in range(5):
+                assert kary_depth(b, kary_tree_size(b, d)) == d
+
+    def test_between_sizes(self):
+        # 14 nodes fit depth 2 of a 3-ary tree (13) but not depth 3 (40)
+        assert kary_depth(3, 14) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            kary_depth(1, 5)
+        with pytest.raises(ValueError):
+            kary_depth(3, 0)
+
+
+class TestForcedIncrease:
+    def test_matches_depth(self):
+        n = kary_tree_size(3, 4)
+        assert levelattack_forced_increase(1, n) == 4
+
+    def test_log_growth(self):
+        a = levelattack_forced_increase(1, 40)
+        b = levelattack_forced_increase(1, 40 * 27)
+        assert b >= a + 2  # three extra levels of a 3-ary tree

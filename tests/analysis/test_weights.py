@@ -1,0 +1,118 @@
+"""Tests for the weight/rem potential machinery (Lemmas 2–5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adversary import NeighborOfMaxAttack, RandomAttack
+from repro.analysis.weights import WeightTracker, rem, subtree_weight
+from repro.core.dash import Dash
+from repro.core.network import SelfHealingNetwork
+from repro.core.sdash import Sdash
+from repro.errors import SimulationError
+from repro.graph.generators import preferential_attachment, star_graph
+from repro.graph.graph import Graph
+
+
+class TestSubtreeWeight:
+    def test_hand_built(self):
+        #   1 - 2 - 3    weights all 1
+        gp = Graph.from_edges([(1, 2), (2, 3)])
+        w = {1: 1.0, 2: 1.0, 3: 1.0}
+        assert subtree_weight(gp, w, 1, avoid=2) == 1.0
+        assert subtree_weight(gp, w, 3, avoid=2) == 1.0
+        assert subtree_weight(gp, w, 2, avoid=1) == 2.0
+
+    def test_rem_leaf_vs_center(self):
+        gp = Graph.from_edges([(1, 2), (2, 3)])
+        w = {1: 1.0, 2: 1.0, 3: 1.0}
+        # center: branches weigh 1 and 1; rem = 2 - 1 + 1 = 2
+        assert rem(gp, w, 2) == 2.0
+        # leaf: single branch of weight 2; rem = 2 - 2 + 1 = 1
+        assert rem(gp, w, 1) == 1.0
+
+    def test_rem_isolated(self):
+        gp = Graph([5])
+        assert rem(gp, {5: 3.0}, 5) == 3.0
+
+
+class TestWeightTransfer:
+    def test_conserved_while_component_lives(self):
+        g = preferential_attachment(30, 2, seed=1)
+        net = SelfHealingNetwork(g, Dash(), seed=1)
+        wt = WeightTracker(net)
+        rng = random.Random(0)
+        while net.num_alive > 1:
+            v = rng.choice(sorted(net.graph.nodes()))
+            wt.observe_deletion(net.snapshot_neighborhood(v))
+            net.delete_and_heal(v)
+            # DASH keeps one component; no weight ever leaks.
+            assert wt.total_weight() == pytest.approx(30.0)
+
+    def test_isolated_weight_leaves_system(self):
+        g = Graph([1, 2])
+        net = SelfHealingNetwork(g, Dash(), seed=0)
+        wt = WeightTracker(net)
+        wt.observe_deletion(net.snapshot_neighborhood(1))
+        net.delete_and_heal(1)
+        assert wt.total_weight() == pytest.approx(1.0)
+
+    def test_double_observe_raises(self):
+        g = star_graph(3)
+        net = SelfHealingNetwork(g, Dash(), seed=0)
+        snap = net.snapshot_neighborhood(1)
+        wt = WeightTracker(net)
+        wt.observe_deletion(snap)
+        with pytest.raises(SimulationError):
+            wt.observe_deletion(snap)
+
+
+class TestLemmas:
+    @pytest.mark.parametrize("healer_cls", [Dash, Sdash], ids=["dash", "sdash"])
+    def test_lemma4_and_5_hold_under_nms(self, healer_cls):
+        g = preferential_attachment(50, 2, seed=4)
+        net = SelfHealingNetwork(g, healer_cls(), seed=4)
+        wt = WeightTracker(net)
+        adv = NeighborOfMaxAttack(seed=7)
+        adv.reset(net)
+        while net.num_alive > 1:
+            v = adv.choose_target(net)
+            wt.observe_deletion(net.snapshot_neighborhood(v))
+            net.delete_and_heal(v)
+            wt.check_lemma4()
+            wt.check_lemma5()
+
+    @given(st.integers(0, 300))
+    def test_property_lemma4_random_attack(self, seed):
+        g = preferential_attachment(20, 2, seed=seed)
+        net = SelfHealingNetwork(g, Dash(), seed=seed)
+        wt = WeightTracker(net)
+        adv = RandomAttack(seed=seed)
+        adv.reset(net)
+        while net.num_alive > 1:
+            v = adv.choose_target(net)
+            wt.observe_deletion(net.snapshot_neighborhood(v))
+            net.delete_and_heal(v)
+        wt.check_lemma4()
+        wt.check_lemma5()
+
+    def test_lemma2_rem_nondecreasing_for_survivors(self):
+        """Spot-check Lemma 2: rem(v) never decreases while v survives."""
+        g = preferential_attachment(25, 2, seed=6)
+        net = SelfHealingNetwork(g, Dash(), seed=6)
+        wt = WeightTracker(net)
+        rng = random.Random(2)
+        prev: dict = {}
+        while net.num_alive > 2:
+            v = rng.choice(sorted(net.graph.nodes()))
+            wt.observe_deletion(net.snapshot_neighborhood(v))
+            net.delete_and_heal(v)
+            current = {u: wt.rem_of(u) for u in net.graph.nodes()}
+            for u, r in current.items():
+                if u in prev:
+                    assert r >= prev[u] - 1e-9, u
+            prev = current

@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.adversary.base import Adversary
+from repro.core.network import SelfHealingNetwork
+from repro.graph.graph import Graph
+from repro.graph.traversal import is_connected
+
+# Property-based tests drive whole simulations; keep example counts sane
+# and disable the too-slow health check (a single example legitimately
+# runs hundreds of heals).
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+def full_kill(
+    network: SelfHealingNetwork,
+    adversary: Adversary,
+    *,
+    assert_connected: bool = True,
+    stop_alive: int = 0,
+) -> int:
+    """Drive ``adversary`` until ≤ ``stop_alive`` nodes remain.
+
+    Asserts connectivity after every heal when requested; returns the
+    number of deletions performed.
+    """
+    adversary.reset(network)
+    deletions = 0
+    while network.num_alive > max(1, stop_alive):
+        victim = adversary.choose_target(network)
+        if victim is None:
+            break
+        network.delete_and_heal(victim)
+        deletions += 1
+        if assert_connected:
+            assert is_connected(network.graph), (
+                f"disconnected after deleting {victim!r} "
+                f"({network.num_alive} alive)"
+            )
+    return deletions
+
+
+def random_kill_order(graph: Graph, seed: int) -> list:
+    """A seeded uniformly-random deletion order over all nodes."""
+    nodes = sorted(graph.nodes())
+    random.Random(seed).shuffle(nodes)
+    return nodes
+
+
+@pytest.fixture
+def small_ba_graph():
+    from repro.graph.generators import preferential_attachment
+
+    return preferential_attachment(30, 2, seed=42)
+
+
+@pytest.fixture
+def tiny_path():
+    from repro.graph.generators import path_graph
+
+    return path_graph(5)

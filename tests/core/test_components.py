@@ -1,0 +1,188 @@
+"""Unit tests for the component tracker (MINID machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.components import ComponentTracker, make_node_ids
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+from repro.utils.rng import make_rng
+
+
+def build(nodes, g_edges=(), gp_edges=()):
+    """A tracker over a hand-built G/G′ with deterministic IDs.
+
+    IDs are (i/100, i) so node order == ID order: node 0 has the smallest.
+    """
+    g = Graph(nodes)
+    for e in g_edges:
+        g.add_edge(*e)
+    gp = Graph(nodes)
+    for e in gp_edges:
+        gp.add_edge(*e)
+    ids = {u: (u / 100.0, u) for u in nodes}
+    tracker = ComponentTracker(graph=g, healing_graph=gp, initial_ids=ids)
+    return g, gp, tracker, ids
+
+
+class TestInit:
+    def test_singletons(self):
+        _, _, tracker, ids = build([1, 2, 3])
+        assert tracker.num_components() == 3
+        for u in (1, 2, 3):
+            assert tracker.label_of(u) == ids[u]
+            assert tracker.component_members(u) == {u}
+
+    def test_make_node_ids_unique_and_ordered(self):
+        ids = make_node_ids(range(100), make_rng(0))
+        assert len({v for v in ids.values()}) == 100
+        for u, (draw, label) in ids.items():
+            assert 0 <= draw < 1
+            assert label == u
+
+
+class TestMergeRound:
+    def test_basic_merge_adopts_min_label(self):
+        # Delete 9; neighbors 1, 2 (singleton comps) get an RT edge.
+        g, gp, tracker, ids = build(
+            [1, 2, 9], g_edges=[(9, 1), (9, 2)]
+        )
+        # Simulate the network's actions: remove 9, add heal edge (1,2).
+        g.remove_node(9)
+        g.add_edge(1, 2)
+        gp.remove_node(9)
+        gp.add_edge(1, 2)
+        stats = tracker.round(
+            deleted=9,
+            deleted_label=ids[9],
+            participants=(1, 2),
+            gprime_neighbors=frozenset(),
+            component_safe=True,
+            plan_edges=((1, 2),),
+        )
+        assert tracker.label_of(1) == ids[1]
+        assert tracker.label_of(2) == ids[1]  # adopted the min
+        assert stats.id_changes == 1  # only node 2 changed
+        assert stats.components_merged == 2
+        assert stats.components_after == 1
+        assert not stats.split
+        tracker.check_consistency()
+
+    def test_message_fanout_counts_degree(self):
+        # Node 2 changes ID and has G-degree 2 afterwards → 2 sends.
+        g, gp, tracker, ids = build(
+            [1, 2, 3, 9], g_edges=[(9, 1), (9, 2), (2, 3)]
+        )
+        g.remove_node(9)
+        g.add_edge(1, 2)
+        gp.remove_node(9)
+        gp.add_edge(1, 2)
+        tracker.round(
+            deleted=9,
+            deleted_label=ids[9],
+            participants=(1, 2),
+            gprime_neighbors=frozenset(),
+            component_safe=True,
+            plan_edges=((1, 2),),
+        )
+        assert tracker.messages_sent[2] == 2  # to 1 and 3
+        assert tracker.messages_received[1] == 1
+        assert tracker.messages_received[3] == 1
+        assert tracker.id_changes[2] == 1
+        assert tracker.id_changes[1] == 0
+
+    def test_gprime_neighbor_pieces_merge(self):
+        # G' tree: 1-9, 9-2 (so 9's deletion splits {1},{2}); heal re-merges.
+        g, gp, tracker, ids = build(
+            [1, 2, 9],
+            g_edges=[(9, 1), (9, 2), (1, 2)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        # Put all three in one tracked component first.
+        tracker.label[1] = ids[1]
+        tracker.label[2] = ids[1]
+        tracker.label[9] = ids[1]
+        tracker.members = {ids[1]: {1, 2, 9}}
+        g.remove_node(9)
+        gp.remove_node(9)
+        gp.add_edge(1, 2)
+        stats = tracker.round(
+            deleted=9,
+            deleted_label=ids[1],
+            participants=(1, 2),
+            gprime_neighbors=frozenset({1, 2}),
+            component_safe=True,
+            plan_edges=((1, 2),),
+        )
+        assert stats.id_changes == 0  # label already minimal everywhere
+        assert tracker.component_members(1) == {1, 2}
+        tracker.check_consistency()
+
+    def test_unknown_deleted_raises(self):
+        _, _, tracker, ids = build([1])
+        with pytest.raises(SimulationError):
+            tracker.round(
+                deleted=99,
+                deleted_label=(0.5, 99),
+                participants=(),
+                gprime_neighbors=frozenset(),
+                component_safe=True,
+                plan_edges=(),
+            )
+
+
+class TestSplitRound:
+    def test_no_heal_split_relabels_pieces(self):
+        """NoHeal on a G′ path 1-9-2: pieces {1} and {2} must get distinct
+        labels after 9 dies (the library extension beyond the paper)."""
+        g, gp, tracker, ids = build(
+            [1, 2, 9],
+            g_edges=[(9, 1), (9, 2)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.label.update({1: ids[1], 2: ids[1], 9: ids[1]})
+        tracker.members = {ids[1]: {1, 2, 9}}
+        g.remove_node(9)
+        gp.remove_node(9)
+        stats = tracker.round(
+            deleted=9,
+            deleted_label=ids[1],
+            participants=(),
+            gprime_neighbors=frozenset({1, 2}),
+            component_safe=False,
+            plan_edges=(),
+        )
+        assert stats.split
+        assert tracker.label_of(1) != tracker.label_of(2)
+        tracker.check_consistency()
+
+    def test_isolated_deletion(self):
+        g, gp, tracker, ids = build([1, 9])
+        g.remove_node(9)
+        gp.remove_node(9)
+        stats = tracker.round(
+            deleted=9,
+            deleted_label=ids[9],
+            participants=(),
+            gprime_neighbors=frozenset(),
+            component_safe=True,
+            plan_edges=(),
+        )
+        assert stats.id_changes == 0
+        assert tracker.num_components() == 1
+        tracker.check_consistency()
+
+
+class TestConsistencyChecker:
+    def test_detects_mislabel(self):
+        g, gp, tracker, ids = build([1, 2])
+        tracker.label[1] = ids[2]  # corrupt: label points elsewhere
+        with pytest.raises(SimulationError):
+            tracker.check_consistency()
+
+    def test_detects_component_mismatch(self):
+        g, gp, tracker, ids = build([1, 2])
+        gp.add_edge(1, 2)  # true G' merged, tracker not told
+        with pytest.raises(SimulationError):
+            tracker.check_consistency()

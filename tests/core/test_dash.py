@@ -1,0 +1,195 @@
+"""Tests for DASH (Algorithm 1): structure, invariants, guarantees."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from tests.conftest import full_kill, random_kill_order
+
+from repro.adversary import (
+    MaxNodeAttack,
+    MinDegreeAttack,
+    NeighborOfMaxAttack,
+    RandomAttack,
+    ScriptedAttack,
+)
+from repro.core.dash import Dash
+from repro.core.network import SelfHealingNetwork
+from repro.graph.forest import is_forest
+from repro.graph.generators import (
+    complete_kary_tree,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    preferential_attachment,
+    random_tree,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.graph import Graph
+from repro.graph.traversal import is_connected
+
+
+class TestRtStructure:
+    def test_star_hub_deletion_builds_delta_ordered_tree(self):
+        """All neighbors tie on δ, so layout order is initial-ID order and
+        the RT is the complete binary tree over them."""
+        g = star_graph(8)
+        net = SelfHealingNetwork(g, Dash(), seed=0)
+        event = net.delete_and_heal(0)
+        order = sorted(range(1, 8), key=lambda u: net.initial_ids[u])
+        assert list(event.participants) == order
+        # heap edges
+        expected = {
+            frozenset((order[(i - 1) // 2], order[i])) for i in range(1, 7)
+        }
+        assert {frozenset(e) for e in event.new_edges} == expected
+
+    def test_high_delta_nodes_become_leaves(self):
+        """After some healing, re-deleting around the same region must put
+        the max-δ participant at a leaf (no further degree increase)."""
+        g = star_graph(6)
+        net = SelfHealingNetwork(g, Dash(), seed=1)
+        net.delete_and_heal(0)
+        # find current max-δ node and attack its neighborhood again
+        deltas = net.deltas()
+        hot = max(deltas, key=lambda u: (deltas[u], u))
+        victim = next(iter(net.graph.neighbors(hot)))
+        before = net.delta(hot)
+        event = net.delete_and_heal(victim)
+        if hot in event.participants and len(event.participants) >= 2:
+            ordered = list(event.participants)
+            pos = ordered.index(hot)
+            # max-δ node must not be the RT root
+            assert pos != 0
+
+    def test_one_node_per_component_used(self):
+        """DASH adds |components|-1 edges when the deleted node had k
+        foreign components and no G′ neighbors."""
+        g = Graph.from_edges([(9, i) for i in range(1, 6)])
+        net = SelfHealingNetwork(g, Dash(), seed=0)
+        event = net.delete_and_heal(9)
+        assert len(event.new_edges) == 4  # 5 singleton comps → 4 edges
+        # Now all five share one component; deleting a node connected to
+        # two of them uses only ONE representative.
+        g2 = net.graph
+        g2.add_node(100)
+        g2.add_edge(100, 1)
+        g2.add_edge(100, 2)
+        net.initial_degree[100] = 2
+        net.initial_ids[100] = (0.999, 100)
+        net.healing_graph.add_node(100)
+        net.tracker.label[100] = (0.999, 100)
+        net.tracker.members[(0.999, 100)] = {100}
+        net.tracker.id_changes[100] = 0
+        net.tracker.messages_sent[100] = 0
+        net.tracker.messages_received[100] = 0
+        event2 = net.delete_and_heal(100)
+        assert len(event2.participants) == 1
+        assert event2.new_edges == ()
+
+
+class TestConnectivityGuarantee:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: preferential_attachment(40, 2, seed=7),
+            lambda: erdos_renyi(40, 0.15, seed=7),
+            lambda: random_tree(40, seed=7),
+            lambda: cycle_graph(40),
+            lambda: path_graph(40),
+            lambda: grid_graph(6, 7),
+            lambda: star_graph(40),
+            lambda: watts_strogatz(40, 4, 0.2, seed=7),
+            lambda: complete_kary_tree(3, 3),
+        ],
+        ids=["ba", "er", "rtree", "cycle", "path", "grid", "star", "ws", "kary"],
+    )
+    @pytest.mark.parametrize(
+        "adversary_factory",
+        [
+            lambda: RandomAttack(seed=3),
+            lambda: MaxNodeAttack(),
+            lambda: NeighborOfMaxAttack(seed=3),
+            lambda: MinDegreeAttack(),
+        ],
+        ids=["random", "max", "nms", "min"],
+    )
+    def test_full_kill_stays_connected(self, factory, adversary_factory):
+        """The headline Theorem 1 guarantee across topology × attack."""
+        g = factory()
+        # DASH guarantees connectivity only when the start is connected.
+        assert is_connected(g)
+        net = SelfHealingNetwork(g, Dash(), seed=11)
+        full_kill(net, adversary_factory(), assert_connected=True)
+
+    @given(st.integers(0, 10_000))
+    def test_property_random_order_full_kill(self, seed):
+        g = preferential_attachment(24, 2, seed=seed)
+        net = SelfHealingNetwork(g, Dash(), seed=seed)
+        order = random_kill_order(g, seed)
+        adv = ScriptedAttack(order, strict=False)
+        full_kill(net, adv, assert_connected=True)
+
+
+class TestForestInvariant:
+    @given(st.integers(0, 5_000))
+    def test_property_healing_graph_always_forest(self, seed):
+        g = preferential_attachment(22, 2, seed=seed)
+        net = SelfHealingNetwork(g, Dash(), seed=seed)
+        rng = random.Random(seed)
+        while net.num_alive > 1:
+            net.delete_and_heal(rng.choice(sorted(net.graph.nodes())))
+            assert is_forest(net.healing_graph)
+
+
+class TestDegreeBound:
+    @pytest.mark.parametrize("n", [20, 50, 100, 200])
+    def test_two_log_n_bound_under_nms(self, n):
+        g = preferential_attachment(n, 2, seed=n)
+        net = SelfHealingNetwork(g, Dash(), seed=n)
+        full_kill(net, NeighborOfMaxAttack(seed=n), assert_connected=False)
+        assert net.peak_delta <= 2 * math.log2(n)
+
+    @given(st.integers(0, 3_000))
+    def test_property_bound_random_attack(self, seed):
+        n = 30
+        g = preferential_attachment(n, 2, seed=seed)
+        net = SelfHealingNetwork(g, Dash(), seed=seed)
+        full_kill(net, RandomAttack(seed=seed), assert_connected=False)
+        assert net.peak_delta <= 2 * math.log2(n)
+
+    def test_bound_on_trees_under_levelattack_style_pressure(self):
+        g = complete_kary_tree(3, 4)
+        n = g.num_nodes
+        net = SelfHealingNetwork(g, Dash(), seed=0)
+        full_kill(net, MaxNodeAttack(), assert_connected=False)
+        assert net.peak_delta <= 2 * math.log2(n)
+
+
+class TestIdSemantics:
+    def test_ids_only_decrease(self):
+        g = preferential_attachment(30, 2, seed=2)
+        net = SelfHealingNetwork(g, Dash(), seed=2)
+        prev = dict(net.tracker.label)
+        rng = random.Random(0)
+        while net.num_alive > 1:
+            net.delete_and_heal(rng.choice(sorted(net.graph.nodes())))
+            for u in net.graph.nodes():
+                assert net.tracker.label_of(u) <= prev[u]
+            prev = dict(net.tracker.label)
+
+    def test_single_component_single_label_at_end(self):
+        g = preferential_attachment(25, 2, seed=9)
+        net = SelfHealingNetwork(g, Dash(), seed=9)
+        rng = random.Random(1)
+        while net.num_alive > 5:
+            net.delete_and_heal(rng.choice(sorted(net.graph.nodes())))
+        labels = {net.tracker.label_of(u) for u in net.graph.nodes()}
+        assert len(labels) == 1  # still one component → one label

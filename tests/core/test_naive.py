@@ -1,0 +1,168 @@
+"""Tests for the baseline healers and the degree-bounded healer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from tests.conftest import full_kill
+
+from repro.adversary import RandomAttack, ScriptedAttack
+from repro.core.naive import (
+    BinaryTreeHeal,
+    DegreeBoundedHealer,
+    DeltaOrderedGraphHeal,
+    GraphHeal,
+    LineHeal,
+    NoHeal,
+    RandomOrderDash,
+    StarHeal,
+)
+from repro.core.network import SelfHealingNetwork
+from repro.errors import ConfigurationError
+from repro.graph.forest import is_forest
+from repro.graph.generators import (
+    complete_kary_tree,
+    preferential_attachment,
+    star_graph,
+)
+from repro.graph.traversal import connected_components, is_connected
+
+
+ALL_CONNECTIVITY_PRESERVING = [
+    GraphHeal,
+    DeltaOrderedGraphHeal,
+    BinaryTreeHeal,
+    LineHeal,
+    StarHeal,
+    RandomOrderDash,
+    DegreeBoundedHealer,
+]
+
+
+class TestConnectivityPreservation:
+    @pytest.mark.parametrize(
+        "healer_cls", ALL_CONNECTIVITY_PRESERVING,
+        ids=lambda c: c.name,
+    )
+    def test_full_kill_connected(self, healer_cls):
+        g = preferential_attachment(40, 2, seed=13)
+        net = SelfHealingNetwork(g, healer_cls(), seed=13)
+        full_kill(net, RandomAttack(seed=13), assert_connected=True)
+
+
+class TestNoHeal:
+    def test_disconnects_quickly(self):
+        g = star_graph(10)
+        net = SelfHealingNetwork(g, NoHeal(), seed=0)
+        net.delete_and_heal(0)  # kill the hub
+        assert not is_connected(net.graph)
+        assert len(connected_components(net.graph)) == 9
+
+    def test_never_adds_edges(self):
+        g = preferential_attachment(20, 2, seed=1)
+        net = SelfHealingNetwork(g, NoHeal(), seed=1)
+        rng = random.Random(0)
+        for _ in range(10):
+            net.delete_and_heal(rng.choice(sorted(net.graph.nodes())))
+        assert net.healing_graph.num_edges == 0
+
+
+class TestGraphHeal:
+    def test_uses_all_neighbors(self):
+        g = star_graph(6)
+        net = SelfHealingNetwork(g, GraphHeal(), seed=0)
+        event = net.delete_and_heal(0)
+        assert len(event.participants) == 5
+
+    def test_creates_cycles_in_healing_graph(self):
+        """GraphHeal ignores components, so G′ eventually has cycles —
+        the defining difference from the component-aware healers."""
+        g = preferential_attachment(30, 3, seed=5)
+        net = SelfHealingNetwork(g, GraphHeal(), seed=5)
+        rng = random.Random(2)
+        saw_cycle = False
+        while net.num_alive > 2:
+            net.delete_and_heal(rng.choice(sorted(net.graph.nodes())))
+            if not is_forest(net.healing_graph):
+                saw_cycle = True
+                break
+        assert saw_cycle
+
+
+class TestLayouts:
+    def test_line_heal_is_path(self):
+        g = star_graph(6)
+        net = SelfHealingNetwork(g, LineHeal(), seed=0)
+        event = net.delete_and_heal(0)
+        degs = sorted(
+            net.graph.degree(u) for u in event.participants
+        )
+        assert degs == [1, 1, 2, 2, 2]
+
+    def test_star_heal_is_star(self):
+        g = star_graph(6)
+        net = SelfHealingNetwork(g, StarHeal(), seed=0)
+        event = net.delete_and_heal(0)
+        center = event.participants[0]
+        assert net.graph.degree(center) == 4
+        for u in event.participants[1:]:
+            assert net.graph.degree(u) == 1
+
+
+class TestRandomOrderDash:
+    def test_reset_rewinds_stream(self):
+        g1 = star_graph(8)
+        h = RandomOrderDash(seed=3)
+        net1 = SelfHealingNetwork(g1, h, seed=0)
+        e1 = net1.delete_and_heal(0)
+        g2 = star_graph(8)
+        net2 = SelfHealingNetwork(g2, h, seed=0)  # re-attach resets
+        e2 = net2.delete_and_heal(0)
+        assert e1.participants == e2.participants
+        assert e1.new_edges == e2.new_edges
+
+
+class TestDegreeBoundedHealer:
+    def test_invalid_bound(self):
+        with pytest.raises(ConfigurationError):
+            DegreeBoundedHealer(max_increase=0)
+
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_per_round_increase_bounded(self, m):
+        """The defining property: no node's degree grows by more than M in
+        any single deletion+heal round."""
+        g = complete_kary_tree(m + 2, 3)
+        net = SelfHealingNetwork(g, DegreeBoundedHealer(max_increase=m), seed=0)
+        rng = random.Random(m)
+        while net.num_alive > 1:
+            before = {u: net.graph.degree(u) for u in net.graph.nodes()}
+            victim = rng.choice(sorted(net.graph.nodes()))
+            net.delete_and_heal(victim)
+            for u in net.graph.nodes():
+                if u in before:
+                    assert net.graph.degree(u) - before[u] <= m, u
+
+    @given(st.integers(0, 500))
+    def test_property_connectivity(self, seed):
+        g = preferential_attachment(20, 2, seed=seed)
+        net = SelfHealingNetwork(g, DegreeBoundedHealer(max_increase=1), seed=seed)
+        full_kill(net, RandomAttack(seed=seed), assert_connected=True)
+
+
+class TestComponentAwareForest:
+    @pytest.mark.parametrize(
+        "healer_cls",
+        [BinaryTreeHeal, LineHeal, StarHeal, RandomOrderDash, DegreeBoundedHealer],
+        ids=lambda c: c.name,
+    )
+    def test_forest_invariant(self, healer_cls):
+        g = preferential_attachment(30, 2, seed=6)
+        net = SelfHealingNetwork(g, healer_cls(), seed=6)
+        rng = random.Random(1)
+        while net.num_alive > 1:
+            net.delete_and_heal(rng.choice(sorted(net.graph.nodes())))
+            assert is_forest(net.healing_graph)

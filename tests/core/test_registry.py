@@ -1,0 +1,38 @@
+"""Tests for the healer registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import Healer
+from repro.core.registry import HEALERS, PAPER_HEALERS, healer_names, make_healer
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in healer_names():
+            healer = make_healer(name)
+            assert isinstance(healer, Healer)
+            assert healer.name == name
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            make_healer("nope")
+
+    def test_kwargs_forwarded(self):
+        h = make_healer("degree-bounded", max_increase=4)
+        assert h.max_increase == 4
+
+    def test_paper_healers_subset(self):
+        for name in PAPER_HEALERS:
+            assert name in HEALERS
+
+    def test_registry_keys_match_class_names(self):
+        for name, factory in HEALERS.items():
+            assert factory.name == name
+
+    def test_instances_independent(self):
+        a = make_healer("dash-random-order")
+        b = make_healer("dash-random-order")
+        assert a is not b

@@ -1,0 +1,146 @@
+"""Tests for SDASH (Algorithm 3): surrogation semantics and guarantees."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from tests.conftest import full_kill
+
+from repro.adversary import MaxNodeAttack, NeighborOfMaxAttack, RandomAttack
+from repro.core.network import SelfHealingNetwork
+from repro.core.sdash import Sdash
+from repro.graph.distance import all_pairs_distances
+from repro.graph.forest import is_forest
+from repro.graph.generators import preferential_attachment, star_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import is_connected
+
+
+class TestSurrogationCondition:
+    def test_no_surrogate_when_all_delta_zero(self):
+        """δ(w)+|S|−1 ≤ δ(m) is unsatisfiable when every δ=0 and |S|≥2."""
+        g = star_graph(6)
+        net = SelfHealingNetwork(g, Sdash(), seed=0)
+        event = net.delete_and_heal(0)
+        assert event.plan_kind == "binary-tree"
+
+    def test_surrogate_fires_when_headroom_exists(self):
+        """Build a scenario with a high-δ node m and a low-δ candidate w."""
+        # Chain of prior heals gives node 1 a high δ; then delete a node
+        # whose neighborhood has small |S|.
+        g = Graph.from_edges(
+            [(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (5, 6)]
+        )
+        net = SelfHealingNetwork(g, Sdash(), seed=1)
+        net.delete_and_heal(0)  # gives some nodes positive δ
+        deltas = net.deltas()
+        assert max(deltas.values()) >= 1
+        # Now delete 5: S = {1, 6}; if δ(6)+1 ≤ δ(1) the star fires.
+        if net.delta(6) + 1 <= net.delta(1):
+            event = net.delete_and_heal(5)
+            assert event.plan_kind == "surrogate"
+
+    def test_surrogate_center_takes_all_connections(self):
+        """After surrogation the center is adjacent to every participant."""
+        g = preferential_attachment(60, 2, seed=5)
+        net = SelfHealingNetwork(g, Sdash(), seed=5)
+        adv = MaxNodeAttack()
+        adv.reset(net)
+        while net.num_alive > 5:
+            v = adv.choose_target(net)
+            event = net.delete_and_heal(v)
+            if event.plan_kind == "surrogate":
+                center = event.participants[0]
+                for u in event.participants[1:]:
+                    assert net.graph.has_edge(center, u)
+                return
+        # The run should have produced at least one surrogation.
+        raise AssertionError("no surrogation observed in 55 deletions")
+
+
+class TestSurrogationStretchFree:
+    def test_participants_stay_within_two_hops(self):
+        """After a surrogate step every pair of participants is ≤ 2 apart
+        (both hang off the surrogate), so paths that crossed the victim
+        between representatives never lengthen."""
+        g = preferential_attachment(40, 2, seed=8)
+        net = SelfHealingNetwork(g, Sdash(), seed=8)
+        adv = MaxNodeAttack()
+        adv.reset(net)
+        checked = 0
+        while net.num_alive > 4 and checked < 5:
+            v = adv.choose_target(net)
+            event = net.delete_and_heal(v)
+            if event.plan_kind != "surrogate":
+                continue
+            checked += 1
+            after = all_pairs_distances(net.graph)
+            parts = list(event.participants)
+            for a in parts:
+                for b in parts:
+                    if a != b:
+                        assert after[a][b] <= 2, (a, b)
+        assert checked > 0, "no surrogate steps exercised"
+
+    def test_full_surrogation_never_lengthens_any_path(self):
+        """The paper's prose claim holds exactly when the surrogate takes
+        *all* the victim's connections (S = N(v,G)); build that case: a
+        star whose leaves are all in distinct G′ components, with one
+        leaf's δ inflated so the surrogation condition fires."""
+        g = star_graph(7)  # hub 0, leaves 1..6
+        net = SelfHealingNetwork(g, Sdash(), seed=4)
+        # Inflate δ(1) to 5 by rewriting its recorded initial degree; S has
+        # 6 members so the condition δ(w) + 5 ≤ δ(m)=5 fires with δ(w)=0.
+        net.initial_degree[1] = net.graph.degree(1) - 5
+        before = all_pairs_distances(net.graph)
+        event = net.delete_and_heal(0)
+        assert event.plan_kind == "surrogate"
+        assert set(event.participants) == {1, 2, 3, 4, 5, 6}
+        after = all_pairs_distances(net.graph)
+        for u, row in after.items():
+            for w, d_after in row.items():
+                d_before = before[u].get(w)
+                if d_before is not None:
+                    assert d_after <= d_before, (u, w)
+
+
+class TestGuaranteesCarryOver:
+    """SDASH inherits DASH's connectivity/forest/degree guarantees."""
+
+    @given(st.integers(0, 3_000))
+    def test_property_full_kill_connected(self, seed):
+        g = preferential_attachment(24, 2, seed=seed)
+        net = SelfHealingNetwork(g, Sdash(), seed=seed)
+        full_kill(net, RandomAttack(seed=seed), assert_connected=True)
+
+    def test_forest_invariant(self):
+        g = preferential_attachment(40, 2, seed=3)
+        net = SelfHealingNetwork(g, Sdash(), seed=3)
+        rng = random.Random(3)
+        while net.num_alive > 1:
+            net.delete_and_heal(rng.choice(sorted(net.graph.nodes())))
+            assert is_forest(net.healing_graph)
+
+    def test_empirical_degree_bound(self):
+        n = 100
+        g = preferential_attachment(n, 2, seed=12)
+        net = SelfHealingNetwork(g, Sdash(), seed=12)
+        full_kill(net, NeighborOfMaxAttack(seed=12), assert_connected=False)
+        # The paper observes SDASH ≤ 2·log₂ n empirically (Section 4.6.2).
+        assert net.peak_delta <= 2 * math.log2(n)
+
+    def test_degree_tracks_dash_closely(self):
+        from repro.core.dash import Dash
+
+        n = 80
+        results = {}
+        for name, healer in (("dash", Dash()), ("sdash", Sdash())):
+            g = preferential_attachment(n, 2, seed=21)
+            net = SelfHealingNetwork(g, healer, seed=21)
+            full_kill(net, NeighborOfMaxAttack(seed=4), assert_connected=False)
+            results[name] = net.peak_delta
+        assert abs(results["dash"] - results["sdash"]) <= 3

@@ -1,0 +1,88 @@
+"""Asynchronous-delivery robustness: jittered messages, same outcome.
+
+The paper's model is synchronous. Our protocol carries per-origin version
+numbers on state snapshots, which makes the NoN tables reorder-safe; these
+tests assert the whole campaign outcome (topology, healing edges, labels)
+is *identical* under arbitrary seeded delivery jitter — i.e., the
+distributed DASH implementation is correct in asynchronous networks too,
+as long as healing quiesces between deletions (the paper's timing
+assumption).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dash import Dash
+from repro.core.network import SelfHealingNetwork
+from repro.core.sdash import Sdash
+from repro.distributed import DistributedNetwork
+from repro.graph.generators import preferential_attachment
+
+
+@pytest.mark.parametrize("jitter", [1, 2, 5])
+@pytest.mark.parametrize("jitter_seed", [0, 7])
+def test_jittered_delivery_identical_outcome(jitter, jitter_seed):
+    g = preferential_attachment(30, 2, seed=21)
+    cen = SelfHealingNetwork(g.copy(), Dash(), seed=6)
+    dis = DistributedNetwork(
+        g.copy(), Dash, seed=6, jitter=jitter, jitter_seed=jitter_seed
+    )
+    rng = random.Random(4)
+    while cen.num_alive > 1:
+        victim = rng.choice(sorted(cen.graph.nodes()))
+        cen.delete_and_heal(victim)
+        dis.delete(victim)
+        assert dis.graph() == cen.graph
+        assert dis.healing_graph() == cen.healing_graph
+        labels = dis.labels()
+        for u in cen.graph.nodes():
+            assert labels[u] == cen.tracker.label_of(u)
+
+
+def test_jitter_changes_delivery_but_not_id_counts():
+    """ID-change counts are delivery-order-invariant (MINID converges)."""
+    g = preferential_attachment(25, 2, seed=9)
+    runs = []
+    for jitter in (0, 4):
+        dis = DistributedNetwork(
+            g.copy(), Dash, seed=3, jitter=jitter, jitter_seed=1
+        )
+        rng = random.Random(8)
+        for _ in range(12):
+            victim = rng.choice(sorted(p for p in dis.processes))
+            dis.delete(victim)
+        runs.append({u: p.id_changes for u, p in dis.processes.items()})
+    assert runs[0] == runs[1]
+
+
+def test_sdash_async_equivalence():
+    g = preferential_attachment(25, 2, seed=13)
+    cen = SelfHealingNetwork(g.copy(), Sdash(), seed=2)
+    dis = DistributedNetwork(g.copy(), Sdash, seed=2, jitter=3, jitter_seed=5)
+    rng = random.Random(1)
+    while cen.num_alive > 1:
+        victim = rng.choice(sorted(cen.graph.nodes()))
+        cen.delete_and_heal(victim)
+        dis.delete(victim)
+    assert dis.graph() == cen.graph
+
+
+def test_quiescence_still_bounded_under_jitter():
+    g = preferential_attachment(30, 2, seed=17)
+    dis = DistributedNetwork(g.copy(), Dash, seed=4, jitter=3, jitter_seed=2)
+    rng = random.Random(0)
+    for _ in range(15):
+        victim = rng.choice(sorted(p for p in dis.processes))
+        rounds = dis.delete(victim)
+        assert rounds < 200
+
+
+def test_negative_jitter_rejected():
+    from repro.distributed.engine import SyncEngine
+    from repro.errors import ProtocolError
+
+    with pytest.raises(ProtocolError):
+        SyncEngine(jitter=-1)

@@ -1,0 +1,116 @@
+"""Tests for the synchronous message-passing engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.engine import SyncEngine
+from repro.distributed.messages import Message, MsgKind
+from repro.errors import ProtocolError
+
+
+class Recorder:
+    """Minimal process: records messages, optionally echoes once."""
+
+    def __init__(self, engine, name, echo_to=None):
+        self.engine = engine
+        self.name = name
+        self.echo_to = echo_to
+        self.inbox: list[Message] = []
+
+    def handle(self, message: Message) -> None:
+        self.inbox.append(message)
+        if self.echo_to is not None:
+            target, self.echo_to = self.echo_to, None
+            self.engine.send(
+                Message(MsgKind.STATE, src=self.name, dst=target, payload=None)
+            )
+
+
+def msg(src, dst, kind=MsgKind.STATE):
+    return Message(kind=kind, src=src, dst=dst, payload=None)
+
+
+class TestDelivery:
+    def test_round_delivery(self):
+        eng = SyncEngine()
+        a = Recorder(eng, "a")
+        eng.register("a", a)
+        eng.send(msg("b", "a"))
+        assert a.inbox == []  # not yet delivered
+        eng.step()
+        assert len(a.inbox) == 1
+
+    def test_messages_to_dead_nodes_dropped(self):
+        eng = SyncEngine()
+        eng.send(msg("a", "ghost"))
+        delivered = eng.step()
+        assert delivered == 0
+        assert eng.total_sent() == 1  # still counted as sent
+
+    def test_unregister(self):
+        eng = SyncEngine()
+        a = Recorder(eng, "a")
+        eng.register("a", a)
+        eng.unregister("a")
+        eng.send(msg("b", "a"))
+        assert eng.step() == 0
+
+    def test_double_register_rejected(self):
+        eng = SyncEngine()
+        a = Recorder(eng, "a")
+        eng.register("a", a)
+        with pytest.raises(ProtocolError):
+            eng.register("a", a)
+
+
+class TestQuiescence:
+    def test_cascade_takes_multiple_rounds(self):
+        eng = SyncEngine()
+        a = Recorder(eng, "a", echo_to="b")
+        b = Recorder(eng, "b", echo_to="a")
+        eng.register("a", a)
+        eng.register("b", b)
+        eng.post(msg("x", "a"))
+        rounds = eng.run_until_quiescent()
+        assert rounds == 3  # x→a, a→b, b→a
+        assert len(a.inbox) == 2
+        assert len(b.inbox) == 1
+
+    def test_max_rounds_guard(self):
+        class Chatterbox:
+            def __init__(self, engine):
+                self.engine = engine
+
+            def handle(self, message):
+                self.engine.send(msg("a", "a"))
+
+        eng = SyncEngine()
+        eng.register("a", Chatterbox(eng))
+        eng.post(msg("x", "a"))
+        with pytest.raises(ProtocolError, match="quiesce"):
+            eng.run_until_quiescent(max_rounds=10)
+
+    def test_already_quiescent(self):
+        eng = SyncEngine()
+        assert eng.run_until_quiescent() == 0
+
+
+class TestAccounting:
+    def test_per_node_and_kind_counters(self):
+        eng = SyncEngine()
+        a = Recorder(eng, "a")
+        eng.register("a", a)
+        eng.send(msg("b", "a", MsgKind.STATE))
+        eng.send(msg("b", "a", MsgKind.ID_UPDATE))
+        eng.step()
+        assert eng.messages_sent("b") == 2
+        assert eng.messages_sent("b", MsgKind.STATE) == 1
+        assert eng.messages_received("a", MsgKind.ID_UPDATE) == 1
+        assert eng.total_sent(MsgKind.STATE) == 1
+        assert eng.total_sent() == 2
+
+    def test_unknown_node_counts_zero(self):
+        eng = SyncEngine()
+        assert eng.messages_sent("nope") == 0
+        assert eng.messages_received("nope") == 0

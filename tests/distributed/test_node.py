@@ -1,0 +1,121 @@
+"""Unit tests for NodeProcess internals (state, snapshots, handlers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dash import Dash
+from repro.distributed.engine import SyncEngine
+from repro.distributed.messages import Message, MsgKind, NodeState
+from repro.distributed.node import NodeProcess
+from repro.errors import ProtocolError
+
+
+def make_node(label=0, neighbors=(1, 2), engine=None):
+    engine = engine or SyncEngine()
+    proc = NodeProcess(
+        node=label,
+        initial_id=(0.5, label),
+        neighbors=frozenset(neighbors),
+        healer=Dash(),
+        engine=engine,
+    )
+    engine.register(label, proc)
+    return proc, engine
+
+
+def state_of(label, *, g_adj=(), gp_adj=(), delta=0, draw=0.5):
+    return NodeState(
+        node=label,
+        initial_id=(draw, label),
+        label=(draw, label),
+        delta=delta,
+        g_adj=frozenset(g_adj),
+        gp_adj=frozenset(gp_adj),
+    )
+
+
+class TestOwnState:
+    def test_delta_tracks_adjacency(self):
+        proc, _ = make_node(neighbors=(1, 2))
+        assert proc.delta == 0
+        proc.g_adj.add(3)
+        assert proc.delta == 1
+        proc.g_adj.discard(1)
+        proc.g_adj.discard(2)
+        assert proc.delta == -1
+
+    def test_state_snapshot_immutable_copy(self):
+        proc, _ = make_node()
+        snap = proc.state()
+        proc.g_adj.add(99)
+        assert 99 not in snap.g_adj
+
+
+class TestStateHandling:
+    def test_learn_and_forward(self):
+        proc, engine = make_node(label=0, neighbors=(1, 2))
+        incoming = state_of(7, g_adj=(1,))
+        proc.handle(
+            Message(MsgKind.STATE, src=1, dst=0, payload=incoming, forward=True)
+        )
+        assert proc.known[7] == incoming
+        # forwarded once to each neighbor except the sender and subject
+        assert engine.messages_sent(0, MsgKind.STATE) == 1  # only to node 2
+
+    def test_no_forward_when_flag_clear(self):
+        proc, engine = make_node(label=0, neighbors=(1, 2))
+        proc.handle(
+            Message(
+                MsgKind.STATE, src=1, dst=0, payload=state_of(7), forward=False
+            )
+        )
+        assert engine.messages_sent(0, MsgKind.STATE) == 0
+
+
+class TestIdUpdateHandling:
+    def test_adopts_only_over_gprime_edge(self):
+        proc, engine = make_node(label=5, neighbors=(1, 2))
+        smaller = state_of(1, draw=0.1)
+        # 1 is a G-neighbor but NOT a G'-neighbor: no adoption.
+        proc.handle(Message(MsgKind.ID_UPDATE, src=1, dst=5, payload=smaller))
+        assert proc.label == (0.5, 5)
+        assert proc.id_changes == 0
+        # Make it a G'-edge: adoption + flood.
+        proc.gp_adj.add(1)
+        proc.handle(Message(MsgKind.ID_UPDATE, src=1, dst=5, payload=smaller))
+        assert proc.label == (0.1, 1)
+        assert proc.id_changes == 1
+        assert engine.messages_sent(5, MsgKind.ID_UPDATE) == 2  # both nbrs
+
+    def test_ignores_larger_label(self):
+        proc, _ = make_node(label=0)
+        proc.gp_adj.add(1)
+        bigger = state_of(1, draw=0.9)
+        proc.handle(Message(MsgKind.ID_UPDATE, src=1, dst=0, payload=bigger))
+        assert proc.label == (0.5, 0)
+        assert proc.id_changes == 0
+
+
+class TestDeletionHandling:
+    def test_non_neighbor_notice_rejected(self):
+        proc, _ = make_node(label=0, neighbors=(1,))
+        ghost = state_of(42, g_adj=(0,))
+        with pytest.raises(ProtocolError, match="non-neighbor"):
+            proc.handle(Message(MsgKind.DELETION, src=42, dst=0, payload=ghost))
+
+    def test_missing_non_state_detected(self):
+        """If the NoN tables lack a 2-hop peer, the protocol fails loudly
+        instead of healing inconsistently."""
+        proc, _ = make_node(label=0, neighbors=(9,))
+        victim = state_of(9, g_adj=(0, 7))  # 7 unknown to us
+        with pytest.raises(ProtocolError, match="lacks NoN state"):
+            proc.handle(Message(MsgKind.DELETION, src=9, dst=0, payload=victim))
+
+    def test_leaf_deletion_no_edges(self):
+        proc, engine = make_node(label=0, neighbors=(9,))
+        victim = state_of(9, g_adj=(0,))
+        proc.handle(Message(MsgKind.DELETION, src=9, dst=0, payload=victim))
+        assert proc.g_adj == set()
+        assert proc.gp_adj == set()
+        assert 9 not in proc.known

@@ -1,0 +1,119 @@
+"""Tests for distance computation — pure-Python vs scipy cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.distance import (
+    UNREACHABLE,
+    all_pairs_distances,
+    average_path_length,
+    diameter,
+    distance_matrix,
+    eccentricity,
+    graph_to_csr,
+)
+from repro.graph.generators import (
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    preferential_attachment,
+)
+from repro.graph.graph import Graph
+
+
+class TestDistanceMatrix:
+    def test_matches_pure_python_on_path(self):
+        g = path_graph(6)
+        mat, order = distance_matrix(g)
+        pure = all_pairs_distances(g)
+        for i, u in enumerate(order):
+            for j, v in enumerate(order):
+                assert mat[i, j] == pure[u].get(v, UNREACHABLE)
+
+    def test_unreachable_marked(self):
+        g = Graph([0, 1])
+        mat, order = distance_matrix(g)
+        i, j = order.index(0), order.index(1)
+        assert mat[i, j] == UNREACHABLE
+
+    def test_empty_graph(self):
+        mat, order = distance_matrix(Graph())
+        assert mat.shape == (0, 0)
+        assert order == []
+
+    def test_explicit_order_respected(self):
+        g = path_graph(4)
+        mat, order = distance_matrix(g, order=[3, 2, 1, 0])
+        assert order == [3, 2, 1, 0]
+        assert mat[0, 3] == 3  # d(3, 0)
+
+    def test_duplicate_order_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            graph_to_csr(g, order=[0, 0, 1])
+
+    @given(st.integers(0, 1000))
+    def test_property_scipy_equals_bfs(self, seed):
+        g = erdos_renyi(18, 0.15, seed=seed)
+        mat, order = distance_matrix(g)
+        pure = all_pairs_distances(g)
+        for i, u in enumerate(order):
+            row = pure[u]
+            for j, v in enumerate(order):
+                assert mat[i, j] == row.get(v, UNREACHABLE)
+
+
+class TestEccentricityDiameter:
+    def test_path(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+        assert diameter(g) == 4
+
+    def test_cycle(self):
+        assert diameter(cycle_graph(8)) == 4
+
+    def test_grid(self):
+        assert diameter(grid_graph(3, 4)) == 2 + 3
+
+    def test_disconnected_diameter_per_component(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+        assert diameter(g) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            diameter(Graph())
+
+
+class TestAveragePathLength:
+    def test_path3(self):
+        # path 0-1-2: pairs (0,1)=1 (1,2)=1 (0,2)=2 → mean 4/3 both directions
+        assert average_path_length(path_graph(3)) == pytest.approx(4 / 3)
+
+    def test_no_pairs(self):
+        assert average_path_length(Graph([1])) == 0.0
+        assert average_path_length(Graph([1, 2])) == 0.0
+
+    def test_ba_graph_reasonable(self):
+        g = preferential_attachment(50, 2, seed=0)
+        apl = average_path_length(g)
+        assert 1.0 < apl < 10.0
+
+
+class TestGraphToCsr:
+    def test_symmetric(self):
+        g = preferential_attachment(20, 2, seed=1)
+        mat, order = graph_to_csr(g)
+        dense = mat.toarray()
+        assert (dense == dense.T).all()
+        assert dense.sum() == 2 * g.num_edges
+
+    def test_subset_order_drops_external_edges(self):
+        g = path_graph(4)
+        mat, _ = graph_to_csr(g, order=[0, 1])
+        assert mat.toarray().sum() == 2  # only edge (0,1) retained

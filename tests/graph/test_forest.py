@@ -1,0 +1,84 @@
+"""Tests for forest/tree predicates."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.forest import count_trees, forest_excess_edges, is_forest, is_tree
+from repro.graph.generators import (
+    complete_kary_tree,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestIsForest:
+    def test_empty(self):
+        assert is_forest(Graph())
+
+    def test_single_node(self):
+        assert is_forest(Graph([1]))
+
+    def test_path(self):
+        assert is_forest(path_graph(5))
+
+    def test_two_disjoint_paths(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert is_forest(g)
+
+    def test_cycle_not_forest(self):
+        assert not is_forest(cycle_graph(3))
+
+    def test_cycle_in_one_component(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4), (4, 2)])
+        assert not is_forest(g)
+
+    @given(st.integers(1, 60), st.integers(0, 100))
+    def test_property_random_tree_is_forest(self, n, seed):
+        assert is_forest(random_tree(n, seed=seed))
+
+    @given(st.integers(3, 40))
+    def test_property_tree_plus_edge_has_cycle(self, n):
+        g = path_graph(n)
+        g.add_edge(0, n - 1)
+        assert not is_forest(g)
+
+
+class TestIsTree:
+    def test_empty_not_tree(self):
+        assert not is_tree(Graph())
+
+    def test_single_node_is_tree(self):
+        assert is_tree(Graph([1]))
+
+    def test_star(self):
+        assert is_tree(star_graph(7))
+
+    def test_kary(self):
+        assert is_tree(complete_kary_tree(3, 3))
+
+    def test_forest_of_two_not_tree(self):
+        assert not is_tree(Graph.from_edges([(0, 1), (2, 3)]))
+
+    def test_cycle_not_tree(self):
+        assert not is_tree(cycle_graph(4))
+
+
+class TestCounts:
+    def test_count_trees(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        g.add_node(9)
+        assert count_trees(g) == 3
+
+    def test_excess_edges_zero_for_forest(self):
+        assert forest_excess_edges(path_graph(5)) == 0
+
+    def test_excess_edges_counts_cycles(self):
+        assert forest_excess_edges(cycle_graph(5)) == 1
+        g = cycle_graph(4)
+        g.add_edge(0, 2)
+        assert forest_excess_edges(g) == 2

@@ -1,0 +1,197 @@
+"""Tests for graph generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graph.forest import is_tree
+from repro.graph.generators import (
+    GENERATORS,
+    complete_graph,
+    complete_kary_tree,
+    cycle_graph,
+    erdos_renyi,
+    gnm_random,
+    grid_graph,
+    kary_children,
+    kary_level,
+    kary_parent,
+    kary_tree_size,
+    path_graph,
+    preferential_attachment,
+    random_tree,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.traversal import is_connected
+
+
+class TestPreferentialAttachment:
+    def test_node_count(self):
+        assert preferential_attachment(50, 2, seed=0).num_nodes == 50
+
+    def test_edge_count(self):
+        # m seed edges + m per arriving node
+        g = preferential_attachment(50, 3, seed=0)
+        assert g.num_edges == 3 + 3 * (50 - 4)
+
+    def test_connected(self):
+        assert is_connected(preferential_attachment(100, 1, seed=5))
+        assert is_connected(preferential_attachment(100, 3, seed=5))
+
+    def test_deterministic(self):
+        a = preferential_attachment(40, 2, seed=9)
+        b = preferential_attachment(40, 2, seed=9)
+        assert a == b
+
+    def test_seed_sensitivity(self):
+        a = preferential_attachment(40, 2, seed=1)
+        b = preferential_attachment(40, 2, seed=2)
+        assert a != b
+
+    def test_hub_heavy_degree_distribution(self):
+        g = preferential_attachment(300, 2, seed=3)
+        degrees = sorted(g.degrees().values(), reverse=True)
+        # Scale-free-ish: the top hub should far exceed the median.
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            preferential_attachment(3, 0)
+        with pytest.raises(ConfigurationError):
+            preferential_attachment(2, 2)
+
+    @given(st.integers(5, 60), st.integers(1, 3), st.integers(0, 50))
+    def test_property_simple_and_connected(self, n, m, seed):
+        if n < m + 1:
+            n = m + 1
+        g = preferential_attachment(n, m, seed=seed)
+        assert g.num_nodes == n
+        assert is_connected(g)
+        for u in g.nodes():
+            assert u not in g.neighbors_view(u)
+
+
+class TestErdosRenyi:
+    def test_extremes(self):
+        assert erdos_renyi(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=0).num_edges == 45
+
+    def test_determinism(self):
+        assert erdos_renyi(30, 0.2, seed=4) == erdos_renyi(30, 0.2, seed=4)
+
+    def test_edge_density_plausible(self):
+        g = erdos_renyi(200, 0.05, seed=7)
+        expected = 0.05 * 199 * 200 / 2
+        assert 0.5 * expected < g.num_edges < 1.5 * expected
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(10, 1.5)
+
+
+class TestGnm:
+    def test_exact_edges(self):
+        assert gnm_random(20, 30, seed=0).num_edges == 30
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gnm_random(4, 7)
+
+
+class TestRandomTree:
+    @given(st.integers(1, 80), st.integers(0, 30))
+    def test_property_is_tree(self, n, seed):
+        g = random_tree(n, seed=seed)
+        assert g.num_nodes == n
+        assert is_tree(g)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            random_tree(0)
+
+
+class TestKaryTree:
+    def test_size_formula(self):
+        assert kary_tree_size(3, 0) == 1
+        assert kary_tree_size(3, 1) == 4
+        assert kary_tree_size(3, 2) == 13
+        assert kary_tree_size(1, 4) == 5
+
+    def test_parent_child_consistency(self):
+        n = kary_tree_size(3, 3)
+        for node in range(1, n):
+            p = kary_parent(node, 3)
+            assert node in kary_children(p, 3, n)
+
+    def test_levels(self):
+        assert kary_level(0, 3) == 0
+        assert kary_level(1, 3) == 1
+        assert kary_level(3, 3) == 1
+        assert kary_level(4, 3) == 2
+        assert kary_level(12, 3) == 2
+
+    def test_tree_structure(self):
+        g = complete_kary_tree(3, 2)
+        assert g.num_nodes == 13
+        assert is_tree(g)
+        assert g.degree(0) == 3  # root
+        assert g.degree(12) == 1  # a leaf
+
+    @given(st.integers(2, 5), st.integers(0, 4))
+    def test_property_kary_is_tree(self, b, d):
+        g = complete_kary_tree(b, d)
+        assert is_tree(g)
+        assert g.num_nodes == kary_tree_size(b, d)
+
+
+class TestFixedTopologies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(u) == 2 for u in g.nodes())
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert g.num_edges == 5
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        with pytest.raises(ConfigurationError):
+            grid_graph(0, 3)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz(30, 4, 0.2, seed=1)
+        assert g.num_nodes == 30
+        assert g.num_edges == 30 * 2  # rewiring preserves edge count
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 3, 0.1)
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 4, 2.0)
+
+
+class TestRegistry:
+    def test_all_registered_callables(self):
+        for name, fn in GENERATORS.items():
+            assert callable(fn), name
+
+    def test_expected_keys(self):
+        assert "preferential_attachment" in GENERATORS
+        assert "complete_kary_tree" in GENERATORS

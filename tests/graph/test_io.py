@@ -1,0 +1,43 @@
+"""Tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import preferential_attachment
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_simple(self, tmp_path):
+        g = preferential_attachment(30, 2, seed=1)
+        p = write_edge_list(g, tmp_path / "g.edges")
+        h = read_edge_list(p)
+        assert g == h
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        g = Graph([5, 7])
+        g.add_edge(1, 2)
+        h = read_edge_list(write_edge_list(g, tmp_path / "iso.edges"))
+        assert sorted(h.nodes()) == [1, 2, 5, 7]
+        assert h.num_edges == 1
+
+    def test_empty_graph(self, tmp_path):
+        h = read_edge_list(write_edge_list(Graph(), tmp_path / "e.edges"))
+        assert h.num_nodes == 0
+
+
+class TestParsing:
+    def test_comments_ignored(self, tmp_path):
+        p = tmp_path / "c.edges"
+        p.write_text("# header\n1 2  # trailing\n\n3\n")
+        g = read_edge_list(p)
+        assert g.has_edge(1, 2)
+        assert g.has_node(3)
+
+    def test_malformed_raises(self, tmp_path):
+        p = tmp_path / "bad.edges"
+        p.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="expected 1 or 2 fields"):
+            read_edge_list(p)

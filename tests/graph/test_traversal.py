@@ -1,0 +1,112 @@
+"""Tests for BFS traversal, components, connectivity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.generators import cycle_graph, path_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_order,
+    bfs_parents,
+    connected_component,
+    connected_components,
+    induced_components,
+    is_connected,
+    same_component,
+)
+
+
+@pytest.fixture
+def two_triangles():
+    """Two disjoint triangles: {0,1,2} and {3,4,5}."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_cycle_distances(self):
+        g = cycle_graph(6)
+        d = bfs_distances(g, 0)
+        assert d[3] == 3
+        assert d[5] == 1
+
+    def test_unreachable_omitted(self, two_triangles):
+        d = bfs_distances(two_triangles, 0)
+        assert set(d) == {0, 1, 2}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(Graph(), 0)
+
+    def test_bfs_order_starts_at_source(self):
+        g = path_graph(4)
+        assert bfs_order(g, 2)[0] == 2
+
+    def test_bfs_parents_root_none(self):
+        g = path_graph(3)
+        p = bfs_parents(g, 0)
+        assert p[0] is None
+        assert p[1] == 0
+        assert p[2] == 1
+
+
+class TestComponents:
+    def test_connected_component(self, two_triangles):
+        assert connected_component(two_triangles, 4) == {3, 4, 5}
+
+    def test_connected_components(self, two_triangles):
+        comps = connected_components(two_triangles)
+        assert sorted(map(sorted, comps)) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_isolated_nodes(self):
+        g = Graph([1, 2])
+        assert len(connected_components(g)) == 2
+
+
+class TestIsConnected:
+    def test_empty_and_single(self):
+        assert is_connected(Graph())
+        assert is_connected(Graph([1]))
+
+    def test_path_connected(self):
+        assert is_connected(path_graph(10))
+
+    def test_disjoint_not_connected(self, two_triangles):
+        assert not is_connected(two_triangles)
+
+
+class TestSameComponent:
+    def test_same(self, two_triangles):
+        assert same_component(two_triangles, 0, 2)
+
+    def test_different(self, two_triangles):
+        assert not same_component(two_triangles, 0, 5)
+
+    def test_self(self, two_triangles):
+        assert same_component(two_triangles, 0, 0)
+
+    def test_missing_raises(self, two_triangles):
+        with pytest.raises(NodeNotFoundError):
+            same_component(two_triangles, 0, 99)
+
+
+class TestInducedComponents:
+    def test_restriction_splits(self):
+        g = path_graph(5)
+        # Removing middle node 2 from the induced set splits the path.
+        comps = induced_components(g, [0, 1, 3, 4])
+        assert sorted(map(sorted, comps)) == [[0, 1], [3, 4]]
+
+    def test_ignores_unknown(self):
+        g = path_graph(3)
+        comps = induced_components(g, [0, 99])
+        assert sorted(map(sorted, comps)) == [[0]]

@@ -1,0 +1,86 @@
+"""Unit tests for the shared figure plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.common import FigureResult, build_figure, series_table
+from repro.sim.experiment import ExperimentSpec
+from repro.sim.results import ResultSet
+
+
+class TestSeriesTable:
+    def test_columns_in_order(self):
+        out = series_table(
+            "n", [10, 20], {"a": [1.0, 2.0]}, extra={"env": [5.0, 6.0]}
+        )
+        lines = out.splitlines()
+        header = next(l for l in lines if "| n" in l)
+        assert header.index("a") < header.index("env")
+        assert "2.000" in out
+
+    def test_title(self):
+        out = series_table("n", [1], {"s": [0.0]}, title="T8")
+        assert "T8" in out
+
+
+class TestFigureResult:
+    def test_summary_includes_table_and_chart(self):
+        fig = FigureResult(
+            name="f", description="d", x_values=[1.0], series={"s": [2.0]}
+        )
+        fig.table = "TBL"
+        fig.chart = "CHT"
+        s = fig.summary()
+        assert "== f: d ==" in s and "TBL" in s and "CHT" in s
+
+
+class TestBuildFigure:
+    def test_reuses_supplied_results(self):
+        """Passing precomputed results skips the sweep entirely."""
+        rs = ResultSet()
+        for size in (10, 20):
+            for healer in ("dash",):
+                rs.add(
+                    {"size": size, "healer": healer, "rep": 0},
+                    {"v": float(size)},
+                )
+        spec = ExperimentSpec(
+            name="x", sizes=(10, 20), healers=("dash",), repetitions=1
+        )
+        fig = build_figure(
+            name="x",
+            description="reuse",
+            spec=spec,
+            value="v",
+            results=rs,
+        )
+        assert fig.series["dash"] == [10.0, 20.0]
+        assert fig.results is rs
+
+    def test_missing_cells_become_nan(self):
+        rs = ResultSet()
+        rs.add({"size": 10, "healer": "dash", "rep": 0}, {"v": 1.0})
+        rs.add({"size": 20, "healer": "line-heal", "rep": 0}, {"v": 2.0})
+        spec = ExperimentSpec(
+            name="x", sizes=(10, 20), healers=("dash", "line-heal"),
+            repetitions=1,
+        )
+        fig = build_figure(
+            name="x", description="gaps", spec=spec, value="v", results=rs
+        )
+        assert fig.series["dash"][0] == 1.0
+        assert fig.series["dash"][1] != fig.series["dash"][1]  # nan
+
+    def test_csv_written(self, tmp_path):
+        rs = ResultSet()
+        rs.add({"size": 10, "healer": "dash", "rep": 0}, {"v": 1.0})
+        spec = ExperimentSpec(
+            name="x", sizes=(10,), healers=("dash",), repetitions=1
+        )
+        fig = build_figure(
+            name="x", description="csv", spec=spec, value="v",
+            results=rs, out_dir=tmp_path,
+        )
+        assert (tmp_path / "x.csv").exists()
+        assert (tmp_path / "x_raw.csv").exists()

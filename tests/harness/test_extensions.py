@@ -1,0 +1,83 @@
+"""Tests for the extension experiments (capacity, topology matrix, waves)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.extensions import (
+    run_batch_waves,
+    run_capacity_collapse,
+    run_topology_matrix,
+)
+from repro.sim.metrics import CapacityMetric
+
+
+class TestCapacityMetricUnit:
+    def test_rejects_negative_headroom(self):
+        with pytest.raises(ValueError):
+            CapacityMetric(headroom=-1)
+
+    def test_no_collapse_reports_minus_one(self):
+        from repro.adversary import RandomAttack
+        from repro.core.dash import Dash
+        from repro.graph.generators import preferential_attachment
+        from repro.sim.simulator import run_simulation
+
+        g = preferential_attachment(30, 2, seed=0)
+        res = run_simulation(
+            g, Dash(), RandomAttack(seed=0), metrics=[CapacityMetric(50)]
+        )
+        assert res["first_collapse_step"] == -1.0
+        assert res["survived_rounds"] == res.deletions
+
+    def test_collapse_detected_for_naive_healer(self):
+        from repro.adversary import NeighborOfMaxAttack
+        from repro.core.naive import GraphHeal
+        from repro.graph.generators import preferential_attachment
+        from repro.sim.simulator import run_simulation
+
+        g = preferential_attachment(80, 2, seed=1)
+        res = run_simulation(
+            g,
+            GraphHeal(),
+            NeighborOfMaxAttack(seed=1),
+            metrics=[CapacityMetric(2)],
+        )
+        assert res["first_collapse_step"] > 0
+
+
+class TestCapacityCollapse:
+    def test_dash_outlives_naive(self, tmp_path):
+        fig = run_capacity_collapse(
+            n=60, headrooms=(2,), repetitions=3, out_dir=tmp_path
+        )
+        assert fig.series["dash"][0] > fig.series["graph-heal"][0]
+        assert fig.csv_path.exists()
+
+    def test_survival_monotone_in_headroom(self):
+        fig = run_capacity_collapse(
+            n=60, headrooms=(1, 6), repetitions=3,
+            healers=("graph-heal",),
+        )
+        assert fig.series["graph-heal"][0] <= fig.series["graph-heal"][1]
+
+
+class TestTopologyMatrix:
+    def test_all_topologies_within_bound(self, tmp_path):
+        fig = run_topology_matrix(n=60, repetitions=2, out_dir=tmp_path)
+        for i in range(len(fig.x_values)):
+            assert fig.series["peak δ"][i] <= fig.series["bound"][i]
+        assert "yes" in fig.table
+        assert "NO" not in fig.table
+
+
+class TestBatchWaves:
+    def test_waves_stay_connected_and_bounded(self, tmp_path):
+        import math
+
+        fig = run_batch_waves(
+            n=50, wave_sizes=(1, 3), repetitions=2, out_dir=tmp_path
+        )
+        assert "NO" not in fig.table
+        for v in fig.series["peak δ (worst)"]:
+            assert v <= 2 * 2 * math.log2(50)

@@ -1,0 +1,103 @@
+"""Tests for the figure drivers (tiny parameterizations)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness import (
+    FIGURES,
+    run_ablation_components,
+    run_ablation_order,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_theorem1,
+    run_theorem2,
+)
+
+
+class TestFig8:
+    def test_small_run_structure(self, tmp_path):
+        fig = run_fig8(sizes=(12, 20), repetitions=2, out_dir=tmp_path)
+        assert fig.name == "fig8"
+        assert set(fig.series) >= {"dash", "sdash", "graph-heal"}
+        assert fig.x_values == [12.0, 20.0]
+        assert fig.csv_path is not None and fig.csv_path.exists()
+        assert "n" in fig.table
+        assert fig.chart
+
+    def test_expected_ordering_hint(self):
+        """Even at toy sizes graph-heal must not beat dash."""
+        fig = run_fig8(sizes=(30,), repetitions=3)
+        assert fig.series["graph-heal"][0] >= fig.series["dash"][0]
+
+
+class TestFig9:
+    def test_two_panels_from_one_sweep(self):
+        a, b = run_fig9(sizes=(12, 20), repetitions=2)
+        assert a.name == "fig9a"
+        assert b.name == "fig9b"
+        assert a.results is b.results  # sweep reused
+        for fig in (a, b):
+            assert set(fig.series) >= {"dash", "graph-heal"}
+
+    def test_id_changes_below_envelope(self):
+        a, _ = run_fig9(sizes=(30,), repetitions=3)
+        for healer, ys in a.series.items():
+            assert ys[0] <= 2 * math.log(30) + 1, healer
+
+
+class TestFig10:
+    def test_structure(self):
+        fig = run_fig10(sizes=(14,), repetitions=2, stretch_period=2)
+        assert fig.name == "fig10"
+        assert "dash" in fig.series
+        assert all(v >= 1.0 for v in fig.series["dash"])
+
+
+class TestTheorem1:
+    def test_bounds_hold(self):
+        fig = run_theorem1(sizes=(20, 40), repetitions=3)
+        xs = fig.x_values
+        for i, n in enumerate(xs):
+            assert fig.series["measured max δ"][i] <= fig.series["2log2(n)"][i]
+            assert fig.series["measured idΔ"][i] <= fig.series["2ln(n)"][i] + 1
+
+
+class TestTheorem2:
+    def test_exact_forced_delta(self, tmp_path):
+        fig = run_theorem2(depths=(2, 3), max_increase=1, out_dir=tmp_path)
+        assert fig.series["bounded(M=1) forced δ"] == [2.0, 3.0]
+        assert fig.csv_path.exists()
+
+    def test_higher_bound_healer(self):
+        fig = run_theorem2(depths=(2,), max_increase=2)
+        assert fig.series["bounded(M=2) forced δ"][0] >= 2.0
+
+
+class TestAblations:
+    def test_order_ablation_runs(self):
+        fig = run_ablation_order(sizes=(16,), repetitions=2)
+        assert set(fig.series) == {"dash", "dash-random-order", "binary-tree-heal"}
+
+    def test_components_ablation_runs(self):
+        fig = run_ablation_components(sizes=(16,), repetitions=2)
+        assert set(fig.series) == {"dash", "graph-heal-delta"}
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {
+            "fig8",
+            "fig9",
+            "fig10",
+            "theorem1",
+            "theorem2",
+            "ablation-order",
+            "ablation-components",
+            "capacity",
+            "topology-matrix",
+            "batch-waves",
+        }

@@ -1,0 +1,69 @@
+"""Tests for result collection/aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.results import ResultRow, ResultSet
+
+
+@pytest.fixture
+def sample_results() -> ResultSet:
+    rs = ResultSet()
+    for size in (10, 20):
+        for healer in ("dash", "graph-heal"):
+            for rep in range(3):
+                rs.add(
+                    {"size": size, "healer": healer, "rep": rep},
+                    {"delta": float(size / 10 + rep), "msgs": float(rep)},
+                )
+    return rs
+
+
+class TestResultSet:
+    def test_len(self, sample_results):
+        assert len(sample_results) == 12
+
+    def test_filter(self, sample_results):
+        sub = sample_results.filter(healer="dash", size=10)
+        assert len(sub) == 3
+        assert all(r.params["healer"] == "dash" for r in sub.rows)
+
+    def test_aggregate(self, sample_results):
+        agg = sample_results.aggregate(("healer", "size"), "delta")
+        s = agg[("dash", 10)]
+        assert s.count == 3
+        assert s.mean == pytest.approx((1 + 2 + 3) / 3)
+
+    def test_series(self, sample_results):
+        series = sample_results.series("size", "delta", group_by="healer")
+        xs, ys = series["dash"]
+        assert xs == [10, 20]
+        assert ys[0] == pytest.approx(2.0)
+        assert ys[1] == pytest.approx(3.0)
+
+    def test_row_get_prefers_params(self):
+        row = ResultRow({"a": 1}, {"a": 2.0, "b": 3.0})
+        assert row.get("a") == 1
+        assert row.get("b") == 3.0
+
+    def test_to_table_contains_all(self, sample_results):
+        table = sample_results.to_table(title="T")
+        assert "healer" in table and "delta" in table and "T" in table
+
+    def test_csv_round_trip(self, tmp_path, sample_results):
+        p = sample_results.write_csv(tmp_path / "r.csv")
+        text = p.read_text()
+        assert "size,healer,rep,delta,msgs" in text.replace(" ", "")
+        assert text.count("\n") == 13  # header + 12 rows
+
+    def test_merged(self, sample_results):
+        merged = ResultSet.merged([sample_results, sample_results])
+        assert len(merged) == 24
+
+    def test_missing_keys_render_blank(self):
+        rs = ResultSet()
+        rs.add({"a": 1}, {"x": 1.0})
+        rs.add({"b": 2}, {"y": 2.0})
+        table = rs.to_table()
+        assert "a" in table and "b" in table

@@ -1,0 +1,89 @@
+"""Tests for trace record/persist/replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import RandomAttack
+from repro.core.dash import Dash
+from repro.errors import SimulationError
+from repro.graph.generators import preferential_attachment
+from repro.sim.simulator import run_simulation
+from repro.sim.trace import (
+    Trace,
+    TraceRecorder,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+
+
+def record_campaign(n=25, seed=3):
+    g = preferential_attachment(n, 2, seed=seed)
+    recorder = TraceRecorder(g.copy(), "dash", id_seed=seed)
+    result = run_simulation(
+        g, Dash(), RandomAttack(seed=seed), id_seed=seed, metrics=[recorder]
+    )
+    return recorder.trace, result
+
+
+class TestRecording:
+    def test_trace_captures_everything(self):
+        trace, result = record_campaign()
+        assert trace.healer == "dash"
+        assert len(trace.victims) == result.deletions
+        assert len(trace.fingerprints) == result.deletions
+        assert trace.initial_graph().num_nodes == 25
+
+    def test_initial_graph_round_trip(self):
+        g = preferential_attachment(20, 2, seed=1)
+        g.add_node(999)  # isolated node survives the round trip
+        rec = TraceRecorder(g, "dash", id_seed=0)
+        assert rec.trace.initial_graph() == g
+
+
+class TestPersistence:
+    def test_json_round_trip(self, tmp_path):
+        trace, _ = record_campaign()
+        p = save_trace(trace, tmp_path / "run.trace.json")
+        loaded = load_trace(p)
+        assert loaded == trace
+
+    def test_bad_format_rejected(self, tmp_path):
+        p = tmp_path / "junk.json"
+        p.write_text('{"format": "something-else"}')
+        with pytest.raises(SimulationError, match="not a repro trace"):
+            load_trace(p)
+
+
+class TestReplay:
+    def test_faithful_replay_verifies(self):
+        trace, original = record_campaign()
+        replayed = replay_trace(trace)
+        assert replayed.deletions == original.deletions
+        assert replayed.peak_delta == original.peak_delta
+
+    def test_divergence_detected(self):
+        trace, _ = record_campaign()
+        trace.fingerprints[3][1] += 1  # corrupt a fingerprint
+        with pytest.raises(SimulationError, match="diverged at round 4"):
+            replay_trace(trace)
+
+    def test_round_count_mismatch_detected(self):
+        trace, _ = record_campaign()
+        trace.fingerprints.append(["binary-tree", 0, 0])
+        with pytest.raises(SimulationError, match="rounds"):
+            replay_trace(trace)
+
+    def test_cross_healer_replay(self):
+        """Replaying the same victims against another healer is the paired
+        comparison tool; fingerprints are not checked."""
+        trace, _ = record_campaign()
+        other = replay_trace(trace, healer_name="line-heal")
+        assert other.deletions == len(trace.victims)
+
+    def test_replay_after_persistence(self, tmp_path):
+        trace, original = record_campaign()
+        loaded = load_trace(save_trace(trace, tmp_path / "t.json"))
+        replayed = replay_trace(loaded)
+        assert replayed.peak_delta == original.peak_delta

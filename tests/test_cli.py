@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(
+            ["figure", "fig8", "--sizes", "10", "20", "--reps", "2"]
+        )
+        assert args.name == "fig8"
+        assert args.sizes == [10, 20]
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dash" in out
+        assert "neighbor-of-max" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "nope"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_simulate(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--n",
+                "20",
+                "--healer",
+                "dash",
+                "--adversary",
+                "random",
+                "--seed",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "peak δ" in out
+        assert "max_degree_increase" in out
+
+    def test_figure_theorem2(self, capsys):
+        rc = main(["figure", "theorem2", "--depths", "2", "--quiet"])
+        assert rc == 0
+        assert "LEVELATTACK" in capsys.readouterr().out
+
+    def test_figure_small_fig8(self, capsys, tmp_path):
+        rc = main(
+            [
+                "figure",
+                "fig8",
+                "--sizes",
+                "12",
+                "--reps",
+                "2",
+                "--quiet",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert (tmp_path / "fig8.csv").exists()

@@ -1,0 +1,77 @@
+"""Package-surface tests: public API, version, error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicApi:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_paper_citation(self):
+        assert "Saia" in repro.PAPER and "Trehan" in repro.PAPER
+
+    def test_docstring_quickstart_runs(self):
+        """The module docstring's example must actually work."""
+        from repro import (
+            Dash,
+            NeighborOfMaxAttack,
+            default_metrics,
+            preferential_attachment,
+            run_simulation,
+        )
+
+        g = preferential_attachment(100, 2, seed=1)
+        result = run_simulation(
+            g, Dash(), NeighborOfMaxAttack(seed=2), metrics=default_metrics()
+        )
+        assert result.peak_delta <= 2 * 7
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not errors.ReproError
+                and obj.__module__ == "repro.errors"
+            ):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_node_not_found_is_key_error(self):
+        assert issubclass(errors.NodeNotFoundError, KeyError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_error_messages_carry_context(self):
+        err = errors.NodeNotFoundError(42)
+        assert "42" in str(err)
+        assert err.node == 42
+        err2 = errors.EdgeNotFoundError(1, 2)
+        assert err2.u == 1 and err2.v == 2
+
+
+class TestRegistryCoherence:
+    def test_paper_healers_are_figure8_legend(self):
+        from repro import PAPER_HEALERS
+
+        assert "dash" in PAPER_HEALERS
+        assert "sdash" in PAPER_HEALERS
+        assert "graph-heal" in PAPER_HEALERS
+
+    def test_healer_and_adversary_names_disjoint_namespaces(self):
+        from repro import ADVERSARIES, HEALERS
+
+        # no accidental name reuse that could confuse CLI users
+        assert not (set(HEALERS) & set(ADVERSARIES))

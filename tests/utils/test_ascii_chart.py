@@ -1,0 +1,58 @@
+"""Tests for ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.ascii_chart import ascii_line_chart
+
+
+class TestAsciiLineChart:
+    def test_basic_render(self):
+        out = ascii_line_chart([1, 2, 3], {"s": [1.0, 2.0, 3.0]})
+        assert "s" in out  # legend
+        assert "o" in out  # first mark
+
+    def test_title(self):
+        out = ascii_line_chart([1, 2], {"a": [0, 1]}, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_multiple_series_distinct_marks(self):
+        out = ascii_line_chart([1, 2], {"a": [0, 1], "b": [1, 0]})
+        assert "o = a" in out
+        assert "x = b" in out
+
+    def test_constant_series_ok(self):
+        out = ascii_line_chart([1, 2], {"flat": [5.0, 5.0]})
+        assert "flat" in out
+
+    def test_single_point(self):
+        out = ascii_line_chart([1], {"p": [2.0]})
+        assert "p" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], {"s": [1.0]})
+
+    def test_empty_x_raises(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([], {})
+
+    def test_no_series_raises(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1], {})
+
+    def test_dimensions(self):
+        out = ascii_line_chart([1, 2], {"a": [0, 1]}, width=20, height=5)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_lines) == 5
+
+    def test_nan_points_skipped(self):
+        nan = float("nan")
+        out = ascii_line_chart([1, 2, 3], {"a": [1.0, nan, 3.0]})
+        assert "a" in out  # renders without error
+
+    def test_all_nan_raises(self):
+        nan = float("nan")
+        with pytest.raises(ValueError, match="finite"):
+            ascii_line_chart([1], {"a": [nan]})

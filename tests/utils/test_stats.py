@@ -1,0 +1,80 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    Summary,
+    confidence_interval,
+    mean,
+    sample_std,
+    summarize,
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_single(self):
+        assert mean([4.5]) == 4.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestSampleStd:
+    def test_constant_is_zero(self):
+        assert sample_std([3, 3, 3]) == 0.0
+
+    def test_short_sequences(self):
+        assert sample_std([]) == 0.0
+        assert sample_std([1.0]) == 0.0
+
+    def test_known_value(self):
+        # var of [2, 4] with n-1 = (1+1)/1 = 2
+        assert sample_std([2, 4]) == pytest.approx(math.sqrt(2))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_nonnegative(self, xs):
+        assert sample_std(xs) >= 0.0
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        lo, hi = confidence_interval([1, 2, 3, 4, 5])
+        assert lo <= 3 <= hi
+
+    def test_zero_width_for_constant(self):
+        lo, hi = confidence_interval([7, 7, 7])
+        assert lo == hi == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1, 2, 3])
+        assert isinstance(s, Summary)
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=40))
+    def test_min_le_mean_le_max(self, xs):
+        s = summarize(xs)
+        assert s.minimum - 1e-9 <= s.mean <= s.maximum + 1e-9

@@ -1,0 +1,52 @@
+"""Tests for table formatting and CSV output."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.utils.tables import format_table, write_csv
+
+
+class TestFormatTable:
+    def test_contains_cells(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        assert "a" in out and "bb" in out
+        assert "30" in out
+        assert "2.500" in out  # default float format
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table\n")
+
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[1.23456]], float_fmt=".1f")
+        assert "1.2" in out and "1.235" not in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["x"], ["longer"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all box rows same width
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        p = write_csv(tmp_path / "sub" / "t.csv", ["a", "b"], [[1, 2], [3, 4]])
+        assert p.exists()
+        with p.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        p = write_csv(tmp_path / "x" / "y" / "z.csv", ["h"], [])
+        assert p.exists()
