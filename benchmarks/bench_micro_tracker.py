@@ -1,0 +1,134 @@
+"""Micro-benchmarks of the component-tracking core (the former hot path).
+
+The union-find rewrite targets heal-round cost of
+O(participants · α + #actual-ID-changers) instead of O(component size);
+this file measures it directly as **ns per deletion+heal round** at
+n ∈ {1k, 4k, 16k} for the fast path (dash, sdash) and the BFS slow path
+(graph-heal, whose cyclic G′ takes the traversal branch every round, and
+therefore stays O(affected region) by design — it is measured over a
+bounded deletion prefix).
+
+Every measurement is persisted to ``results/BENCH_core.json`` (plus the
+usual text table under ``results/``), so the perf trajectory of the core
+is tracked from this PR onward. The two acceptance workloads —
+``campaign_dash_pa4000_m3`` (full kill, target ≥5× over the pre-rewrite
+seed's ~2.1s) and ``campaign_dash_pa50000_m3`` (target <60s; FULL mode
+only) — are recorded here too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL, RESULTS_DIR
+from repro.adversary.classic import RandomAttack
+from repro.core.registry import make_healer
+from repro.graph.generators import preferential_attachment
+from repro.sim.simulator import run_simulation
+from repro.utils.tables import format_table
+from repro.utils.timing import Timer
+
+#: (healer, n, max_deletions or None for full kill); 16k is FULL-only.
+QUICK_WORKLOADS = [
+    ("dash", 1_000, None),
+    ("dash", 4_000, None),
+    ("sdash", 1_000, None),
+    ("sdash", 4_000, None),
+    ("graph-heal", 1_000, 300),
+    ("graph-heal", 4_000, 300),
+]
+FULL_WORKLOADS = [
+    ("dash", 16_000, None),
+    ("sdash", 16_000, None),
+    ("graph-heal", 16_000, 300),
+]
+
+
+def _measure(healer_name: str, n: int, max_deletions: int | None):
+    g = preferential_attachment(n, 3, seed=1)
+    healer = make_healer(healer_name)
+    with Timer() as t:
+        res = run_simulation(
+            g,
+            healer,
+            RandomAttack(seed=2),
+            id_seed=0,
+            max_deletions=max_deletions,
+        )
+    return t.elapsed, res.deletions
+
+
+def test_heal_round_cost(bench_recorder):
+    """ns/op per heal round across healer × n; persists table + JSON."""
+    workloads = QUICK_WORKLOADS + (FULL_WORKLOADS if FULL else [])
+    rows = []
+    for healer_name, n, max_deletions in workloads:
+        seconds, rounds = _measure(healer_name, n, max_deletions)
+        entry = bench_recorder.record(
+            f"heal_round_{healer_name}_n{n}",
+            seconds=seconds,
+            rounds=rounds,
+            healer=healer_name,
+            n=n,
+            topology="preferential-attachment-m3",
+            adversary="random",
+        )
+        rows.append(
+            [healer_name, n, rounds, entry["ns_per_round"], seconds]
+        )
+        assert rounds > 0
+
+    table = format_table(
+        ["healer", "n", "rounds", "ns/round", "total s"],
+        rows,
+        title="component-tracker micro: heal-round cost",
+    )
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "micro_tracker.txt").write_text(table + "\n")
+
+
+def test_campaign_dash_pa4000(bench_recorder):
+    """Acceptance workload: full-kill DASH on PA n=4000 (m=3).
+
+    The pre-rewrite seed measured ~2.1s here and the union-find core
+    ~0.2s (>10×). The assert only guards against regressing back to
+    seed-level cost — shared CI runners are too noisy for a hard 5×
+    wall-time bound — while the committed BENCH_core.json carries the
+    real trajectory.
+    """
+    seconds, rounds = _measure("dash", 4_000, None)
+    bench_recorder.record(
+        "campaign_dash_pa4000_m3",
+        seconds=seconds,
+        rounds=rounds,
+        healer="dash",
+        n=4_000,
+        topology="preferential-attachment-m3",
+        adversary="random",
+        seed_baseline_seconds=2.1,
+    )
+    assert rounds == 4_000
+    assert seconds < 2.1, (
+        f"n=4000 campaign took {seconds:.2f}s — as slow as the O(size) "
+        "pre-rewrite seed; the union-find fast path has regressed"
+    )
+
+
+@pytest.mark.skipif(not FULL, reason="REPRO_BENCH_FULL=1 only")
+def test_campaign_dash_pa50000(bench_recorder):
+    """Acceptance workload: full-kill DASH on PA n=50,000 under 60s."""
+    seconds, rounds = _measure("dash", 50_000, None)
+    bench_recorder.record(
+        "campaign_dash_pa50000_m3",
+        seconds=seconds,
+        rounds=rounds,
+        healer="dash",
+        n=50_000,
+        topology="preferential-attachment-m3",
+        adversary="random",
+        budget_seconds=60,
+    )
+    assert rounds == 50_000
+    assert seconds < 60, f"n=50,000 campaign took {seconds:.1f}s (budget 60s)"

@@ -3,7 +3,10 @@
 Each ``bench_*`` file regenerates one paper artifact (figure/table) and
 benchmarks the regeneration. Figure tables are printed to stdout (visible
 with ``pytest -s`` and in ``--benchmark-only`` logs) and persisted under
-``results/`` so the numbers survive the run.
+``results/`` so the numbers survive the run. Machine-readable wall-time /
+throughput measurements additionally land in ``results/BENCH_core.json``
+(merge-on-write; see :mod:`repro.utils.benchrecord`), so the perf
+trajectory of the hot paths is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -13,8 +16,13 @@ from pathlib import Path
 
 import pytest
 
+from repro.utils.benchrecord import BenchRecorder
+
 #: where figure CSVs/tables land
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: machine-readable per-workload timings (committed; merge-on-write)
+BENCH_JSON = RESULTS_DIR / "BENCH_core.json"
 
 #: Sweep scale knob: CI-quick by default; export REPRO_BENCH_FULL=1 for
 #: paper-fidelity sizes (30 repetitions, larger n).
@@ -34,6 +42,12 @@ def emit(fig) -> None:
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_recorder() -> BenchRecorder:
+    """Session-wide recorder for ``results/BENCH_core.json``."""
+    return BenchRecorder(BENCH_JSON)
 
 
 def sweep_jobs() -> int:

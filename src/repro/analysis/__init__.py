@@ -1,6 +1,7 @@
 """Proof machinery made executable: weights, rem(v), invariants, bounds."""
 
 from repro.analysis.invariants import (
+    check_component_labels,
     check_connectivity_invariant,
     check_degree_bound,
     check_forest_invariant,
@@ -19,6 +20,7 @@ from repro.analysis.theory import (
 from repro.analysis.weights import WeightTracker, rem, subtree_weight
 
 __all__ = [
+    "check_component_labels",
     "check_connectivity_invariant",
     "check_degree_bound",
     "check_forest_invariant",

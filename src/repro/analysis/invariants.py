@@ -11,7 +11,7 @@ from typing import Hashable
 
 from repro.analysis.theory import dash_degree_bound
 from repro.core.network import SelfHealingNetwork
-from repro.errors import InvariantViolation
+from repro.errors import InvariantViolation, SimulationError
 from repro.graph.forest import is_forest
 from repro.graph.graph import Graph
 from repro.graph.traversal import is_connected
@@ -19,6 +19,7 @@ from repro.graph.traversal import is_connected
 __all__ = [
     "check_forest_invariant",
     "check_connectivity_invariant",
+    "check_component_labels",
     "check_degree_bound",
     "check_healing_subset",
     "lemma10_degree_sum_delta",
@@ -42,6 +43,21 @@ def check_connectivity_invariant(network: SelfHealingNetwork) -> None:
             f"connectivity lost with {network.num_alive} nodes alive "
             f"after {len(network.deleted_nodes)} deletions"
         )
+
+
+def check_component_labels(network: SelfHealingNetwork) -> None:
+    """Algorithm 1, step 5: the MINID labels the tracker maintains with
+    its O(α) union-find match the true connected components of G′.
+
+    Delegates to :meth:`~repro.core.components.ComponentTracker.check_consistency`,
+    the full-BFS ground-truth check (O(n + m)).
+    """
+    try:
+        network.tracker.check_consistency()
+    except SimulationError as exc:
+        raise InvariantViolation(
+            f"component labels disagree with G' ground truth: {exc}"
+        ) from exc
 
 
 def check_degree_bound(network: SelfHealingNetwork, factor: float = 1.0) -> None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import ClassVar, Hashable, Mapping
 
 from repro.core.components import NodeId
@@ -61,13 +62,23 @@ class NeighborhoodSnapshot:
     #: current G-degree of each G-neighbor (before this round)
     degree: Mapping[Node, int]
 
+    @cached_property
+    def _sort_keys(self) -> dict[Node, tuple[int, NodeId]]:
+        """Per-neighbor ``(δ, initial ID)`` layout keys, computed once per
+        snapshot — healers sort (and take minima/maxima) repeatedly, so
+        the key tuples are cached instead of rebuilt per call."""
+        delta = self.delta
+        ids = self.initial_ids
+        return {u: (delta[u], ids[u]) for u in self.g_neighbors}
+
     def unique_neighbors(self) -> list[Node]:
         """``UN(v, G)``: one representative per foreign component.
 
         Partition the G-neighbors that do *not* share the deleted node's
         label by their component label, then pick the lowest-*initial*-ID
-        member of each class (the paper's tie-break). Deterministic order:
-        ascending component label.
+        member of each class (the paper's tie-break — an incremental
+        ``min``, never a sort). Deterministic order: ascending component
+        label.
         """
         classes: dict[NodeId, Node] = {}
         for u in self.g_neighbors:
@@ -85,25 +96,30 @@ class NeighborhoodSnapshot:
                 classes[lbl] = u
         return [classes[lbl] for lbl in sorted(classes)]
 
+    @cached_property
+    def _participants(self) -> tuple[Node, ...]:
+        un = self.unique_neighbors()
+        gp = sorted(self.gprime_neighbors, key=lambda u: self.initial_ids[u])
+        return tuple(un + gp)
+
     def participants(self) -> list[Node]:
         """``UN(v,G) ∪ N(v,G′)``: the node set DASH-family healers rewire.
 
         The union is disjoint (UN excludes the deleted node's label;
         all of N(v,G′) carries it). Order: UN first (ascending label),
         then G′-neighbors ascending initial ID — deterministic, and
-        re-sorted by δ by the healers that care.
+        re-sorted by δ by the healers that care. The set is computed once
+        per snapshot (healers and the plan validator both ask for it).
         """
-        un = self.unique_neighbors()
-        gp = sorted(self.gprime_neighbors, key=lambda u: self.initial_ids[u])
-        return un + gp
+        return list(self._participants)
 
     def sort_by_delta(self, nodes: list[Node]) -> list[Node]:
         """Sort ascending by (δ, initial ID) — the RT layout order.
 
         The initial-ID tie-break makes the layout deterministic; the paper
-        leaves ties unspecified.
+        leaves ties unspecified. Uses the cached per-snapshot keys.
         """
-        return sorted(nodes, key=lambda u: (self.delta[u], self.initial_ids[u]))
+        return sorted(nodes, key=self._sort_keys.__getitem__)
 
 
 @dataclass(frozen=True)

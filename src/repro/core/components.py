@@ -18,12 +18,34 @@ model of Lemmas 8–9:
 IDs are pairs ``(random_draw, node_label)`` so they are unique and totally
 ordered even in the measure-zero event of equal random draws.
 
-The tracker is healer-agnostic. For healers that reconnect exactly
-``UN(v,G) ∪ N(v,G′)`` (DASH, SDASH, and the component-aware baselines) a
-fast path merges member sets without any graph traversal; for arbitrary
-healers (GraphHeal adds cycles; NoHeal adds nothing) a BFS over the
-affected region recomputes components honestly, including persistent
-splits, which the paper's model never needs but a library must survive.
+Cost model of the implementation
+--------------------------------
+Components are the classes of a **size-weighted union-find** whose root
+carries the class's MINID label and member set; merges union the smaller
+member set into the larger and relabel (and charge messages for) **only
+the members of classes whose label actually changes** — exactly the
+quantity Lemmas 8–9 amortize. A component-safe deletion+heal round
+therefore costs
+
+    O(|participants| · α(n)  +  #actual-ID-changers · fan-out)
+
+instead of the former O(size of every affected component): the winning
+(minimum-label) class — in practice the giant component — is never
+touched. The set unions themselves are small-into-large, so their cost is
+dominated by the charge loop (the losing classes are precisely the
+changers). Deleted nodes stay in the union-find forest as tombstone
+internal vertices; only the membership tables shrink, keeping deletion
+O(α) amortized.
+
+For healers that reconnect exactly ``UN(v,G) ∪ N(v,G′)`` (DASH, SDASH,
+and the component-aware baselines) the merge needs no graph traversal at
+all; for arbitrary healers (GraphHeal adds cycles; NoHeal adds nothing)
+and for batch deletions, a BFS over the affected region recomputes
+components honestly — including persistent splits, which the paper's
+model never needs but a library must survive — and then routes through
+the same union-find apply step (:meth:`ComponentTracker._apply_rebuild`).
+``check_consistency`` stays a full-BFS ground-truth check, used by tests
+and paranoid-mode runs.
 """
 
 from __future__ import annotations
@@ -85,40 +107,153 @@ class ComponentTracker:
     initial_ids:
         The DASH node IDs; each node starts as a singleton component
         labelled by its own ID.
+
+    Internally each component is a union-find class. The class root (which
+    may be a deleted tombstone node) carries the component's MINID label
+    and its live member set; ``_label_root`` is the inverse label→root
+    index (labels are unique across live components, an invariant
+    ``check_consistency`` verifies).
     """
 
     graph: Graph
     healing_graph: Graph
     initial_ids: Mapping[Node, NodeId]
-    label: dict[Node, NodeId] = field(init=False)
-    members: dict[NodeId, set[Node]] = field(init=False)
     id_changes: dict[Node, int] = field(init=False)
     messages_sent: dict[Node, int] = field(init=False)
     messages_received: dict[Node, int] = field(init=False)
-    rounds: list[RoundStats] = field(init=False, default_factory=list)
+    _parent: dict[Node, Node] = field(init=False, repr=False)
+    _root_label: dict[Node, NodeId] = field(init=False, repr=False)
+    _root_members: dict[Node, set[Node]] = field(init=False, repr=False)
+    _label_root: dict[NodeId, Node] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self.label = dict(self.initial_ids)
-        self.members = {iid: {u} for u, iid in self.initial_ids.items()}
+        self._parent = {u: u for u in self.initial_ids}
+        self._root_label = dict(self.initial_ids)
+        self._root_members = {u: {u} for u in self.initial_ids}
+        self._label_root = {iid: u for u, iid in self.initial_ids.items()}
         self.id_changes = {u: 0 for u in self.initial_ids}
         self.messages_sent = {u: 0 for u in self.initial_ids}
         self.messages_received = {u: 0 for u in self.initial_ids}
 
     # ------------------------------------------------------------------
+    # Union-find primitives
+    # ------------------------------------------------------------------
+    def _find(self, x: Node) -> Node:
+        """Class root of ``x`` with full path compression. O(α) amortized."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def label_of(self, node: Node) -> NodeId:
-        return self.label[node]
+        try:
+            root = self._find(node)
+            members = self._root_members[root]
+        except KeyError:
+            raise SimulationError(f"node {node!r} is not tracked") from None
+        if node not in members:
+            # A deleted node's tombstone still chains to a live root;
+            # querying it must fail loudly, not leak the survivors' label.
+            raise SimulationError(f"node {node!r} is not tracked")
+        return self._root_label[root]
 
     def component_members(self, node: Node) -> frozenset[Node]:
         """All nodes sharing ``node``'s component label (i.e. its G′ component)."""
-        return frozenset(self.members[self.label[node]])
+        try:
+            root = self._find(node)
+            members = self._root_members[root]
+        except KeyError:
+            raise SimulationError(f"node {node!r} is not tracked") from None
+        if node not in members:
+            raise SimulationError(f"node {node!r} is not tracked")
+        return frozenset(members)
 
     def num_components(self) -> int:
-        return len(self.members)
+        return len(self._root_members)
 
     def total_messages(self) -> int:
         return sum(self.messages_sent.values())
+
+    def labels(self) -> dict[Node, NodeId]:
+        """Snapshot of every live node's component label. O(n)."""
+        return {
+            u: self._root_label[root]
+            for root, mem in self._root_members.items()
+            for u in mem
+        }
+
+    def components(self) -> dict[NodeId, frozenset[Node]]:
+        """Snapshot {label: member set} of every live component. O(n)."""
+        return {
+            self._root_label[root]: frozenset(mem)
+            for root, mem in self._root_members.items()
+        }
+
+    def add_node(self, node: Node, node_id: NodeId) -> None:
+        """Register ``node`` as a fresh singleton component (the network
+        grew); ``node_id`` also becomes its initial ID, so later split
+        relabels and :meth:`rebuild_from_healing_graph` can see it.
+        Re-adding a node the tracker has ever seen is refused — its
+        tombstone may still be an internal vertex of the union-find
+        forest."""
+        if node in self._parent:
+            raise SimulationError(f"node {node!r} was already tracked")
+        if node_id in self._label_root:
+            raise SimulationError(f"label {node_id!r} already in use")
+        if node not in self.initial_ids:
+            try:
+                self.initial_ids[node] = node_id  # type: ignore[index]
+            except TypeError:
+                raise SimulationError(
+                    f"cannot record initial ID for {node!r}: the tracker's "
+                    "initial_ids mapping is read-only"
+                ) from None
+        self._parent[node] = node
+        self._root_label[node] = node_id
+        self._root_members[node] = {node}
+        self._label_root[node_id] = node
+        self.id_changes.setdefault(node, 0)
+        self.messages_sent.setdefault(node, 0)
+        self.messages_received.setdefault(node, 0)
+
+    def rebuild_from_healing_graph(self) -> None:
+        """Recompute every class from G′ connectivity, labelling each
+        component with the minimum *initial* ID among its **live**
+        members.
+
+        Used to seed a tracker over a pre-built healing graph (tests,
+        synthetic scenarios). Not a mid-campaign checkpoint restore: a
+        component's MINID label routinely belongs to a long-deleted node,
+        which this canonical relabelling cannot reproduce. Does not touch
+        the message/ID counters.
+        """
+        from repro.graph.traversal import connected_components
+
+        old_parent = self._parent
+        self._parent = {}
+        self._root_label = {}
+        self._root_members = {}
+        self._label_root = {}
+        for comp in connected_components(self.healing_graph):
+            members = set(comp)
+            root = next(iter(members))
+            label = min(self.initial_ids[u] for u in members)
+            for u in members:
+                self._parent[u] = root
+            self._root_label[root] = label
+            self._root_members[root] = members
+            self._label_root[label] = root
+        # Keep tombstones of previously-seen nodes (as bare self-roots
+        # with no metadata) so the add_node re-add guard stays honest.
+        for u in old_parent:
+            if u not in self._parent:
+                self._parent[u] = u
 
     # ------------------------------------------------------------------
     # The deletion+heal round
@@ -138,28 +273,31 @@ class ComponentTracker:
         ``component_safe`` asserts that ``participants`` equals
         ``UN(v,G) ∪ N(v,G′)`` — one representative per pre-round component
         plus every G′-neighbor of the deleted node — enabling the
-        traversal-free merge path. The caller (the healer, via the plan)
-        vouches for this; the slow path is used otherwise.
+        traversal-free union-find merge path. The caller (the healer, via
+        the plan) vouches for this; the slow path is used otherwise.
         """
         # Remove the deleted node from its component's membership.
         self.remove_node(deleted, deleted_label)
 
         if component_safe:
-            groups, split = self._fast_groups(
-                deleted_label, participants, gprime_neighbors, plan_edges
+            stats = self._fast_round(
+                deleted, deleted_label, participants, gprime_neighbors,
+                plan_edges,
             )
-        else:
-            groups, split = self._slow_groups(deleted_label, participants)
-        groups = [g for g in groups if g]
+            if stats is not None:
+                return stats
 
-        merged_labels = {
-            self.label[u] for group in groups for u in group if u in self.label
-        }
-        stats = self._apply_groups(deleted, groups)
+        groups, group_labels, old_label, split = self._slow_groups(
+            deleted_label, participants
+        )
+        merged_labels: set[NodeId] = set()
+        for labels in group_labels:
+            merged_labels |= labels
+        changes, msgs = self._apply_rebuild(groups, group_labels, old_label)
         return RoundStats(
             deleted=deleted,
-            id_changes=stats[0],
-            messages_sent=stats[1],
+            id_changes=changes,
+            messages_sent=msgs,
             components_merged=len(merged_labels),
             components_after=len(groups),
             largest_component=max((len(g) for g in groups), default=0),
@@ -167,17 +305,27 @@ class ComponentTracker:
         )
 
     def remove_node(self, node: Node, expected_label: NodeId) -> None:
-        """Drop ``node`` from the membership tables (it was deleted)."""
-        mem = self.members.get(expected_label)
-        if mem is None or node not in mem:
+        """Drop ``node`` from the membership tables (it was deleted).
+
+        The node stays in the union-find forest as a tombstone internal
+        vertex — only live-membership accounting shrinks — so removal is
+        O(α) instead of O(component size).
+        """
+        try:
+            root = self._find(node)
+        except KeyError:
+            root = None
+        mem = self._root_members.get(root) if root is not None else None
+        if mem is None or node not in mem or self._root_label[root] != expected_label:
             raise SimulationError(
                 f"deleted node {node!r} not tracked under label "
                 f"{expected_label!r}"
             )
         mem.discard(node)
         if not mem:
-            del self.members[expected_label]
-        self.label.pop(node, None)
+            del self._root_members[root]
+            del self._root_label[root]
+            del self._label_root[expected_label]
 
     # ------------------------------------------------------------------
     # Batch rounds (simultaneous multi-node deletion — footnote 1)
@@ -191,41 +339,21 @@ class ComponentTracker:
         """Relabel after a *batch* heal. The caller has already removed
         every victim (via :meth:`remove_node`) and inserted the healing
         edges into G/G′. Always takes the traversal path — batch deletion
-        is an extension feature, not a hot loop.
+        is an extension feature, not a hot loop — but the relabelling
+        lands in the same union-find apply step as every other round.
         """
-        affected: set[Node] = set()
-        for lbl in affected_labels:
-            affected |= self.members.get(lbl, set())
-        for u in participants:
-            lbl = self.label.get(u)
-            if lbl is not None:
-                affected |= self.members[lbl]
+        roots = self._collect_roots(affected_labels, participants)
+        affected, old_label = self._region_of(roots)
+        groups, group_labels = self._bfs_groups(affected, old_label)
 
-        groups: list[set[Node]] = []
-        seen: set[Node] = set()
-        for start in affected:
-            if start in seen:
-                continue
-            comp = {start}
-            frontier: deque[Node] = deque([start])
-            while frontier:
-                x = frontier.popleft()
-                for y in self.healing_graph.neighbors_view(x):
-                    if y in affected and y not in comp:
-                        comp.add(y)
-                        frontier.append(y)
-            seen |= comp
-            groups.append(comp)
-
-        merged_labels = {
-            self.label[u] for g in groups for u in g if u in self.label
-        }
+        merged_labels: set[NodeId] = set()
         claims: dict[NodeId, int] = {}
-        for g in groups:
-            for lbl in {self.label[u] for u in g}:
+        for labels in group_labels:
+            merged_labels |= labels
+            for lbl in labels:
                 claims[lbl] = claims.get(lbl, 0) + 1
         split = any(c > 1 for c in claims.values())
-        changes, msgs = self._apply_groups(None, groups)
+        changes, msgs = self._apply_rebuild(groups, group_labels, old_label)
         return RoundStats(
             deleted=None,
             id_changes=changes,
@@ -237,23 +365,27 @@ class ComponentTracker:
         )
 
     # ------------------------------------------------------------------
-    # Fast path: quotient union-find over (pieces of Tv) ∪ (UN components)
+    # Fast path: merge union-find classes without touching their members
     # ------------------------------------------------------------------
-    def _fast_groups(
+    def _fast_round(
         self,
+        deleted: Node,
         deleted_label: NodeId,
         participants: Sequence[Node],
         gprime_neighbors: frozenset[Node],
         plan_edges: Sequence[tuple[Node, Node]],
-    ) -> tuple[list[set[Node]], bool]:
-        """Resulting component groups without traversing G′.
+    ) -> RoundStats | None:
+        """Merge classes along the plan edges; returns None to defer to
+        the slow path when the plan leaves the deleted node's tree pieces
+        spread over more than one resulting component (attributing members
+        to individual pieces then needs a real traversal).
 
         Quotient vertices: each G′-neighbor of the deleted node stands for
-        the piece of the deleted node's tree that contains it (the pieces
-        are disjoint because G′ is a forest for component-safe healers);
-        each other participant stands for its whole pre-round component.
-        The plan edges connect quotient vertices; resulting groups are the
-        union-find classes. Member sets are only unioned, never traversed.
+        the piece of the deleted node's tree that contains it; each other
+        participant stands for its whole pre-round class. The plan edges
+        connect quotient vertices; each resulting quotient class becomes
+        one union-find merge, relabelling (and charging messages to) only
+        members of classes whose label differs from the merged minimum.
         """
         parent: dict[Node, Node] = {u: u for u in participants}
 
@@ -272,150 +404,287 @@ class ComponentTracker:
         for u in participants:
             classes.setdefault(find(u), []).append(u)
 
-        # If the plan leaves the pieces of the deleted node's tree spread
-        # over more than one class, attributing members to individual
-        # pieces requires a real traversal — defer to the slow path.
-        piece_classes = sum(
-            1
-            for reps in classes.values()
-            if any(u in gprime_neighbors for u in reps)
-        )
-        if piece_classes > 1:
-            return self._slow_groups(deleted_label, participants)
+        old_root = self._label_root.get(deleted_label)
 
-        old_members = self.members.get(deleted_label, set())
-        groups: list[set[Node]] = []
+        if gprime_neighbors:
+            piece_classes = sum(
+                1
+                for reps in classes.values()
+                if any(u in gprime_neighbors for u in reps)
+            )
+            if piece_classes > 1:
+                return None
+
+        total_changes = 0
+        total_msgs = 0
+        components_after = 0
+        largest = 0
         placed_old = False
+        merged_label_set: set[NodeId] = set()
+
         for reps in classes.values():
-            group: set[Node] = set()
-            has_piece = False
+            # Distinct persistent classes merged by this quotient class.
+            roots: list[Node] = []
+            seen_roots: set[Node] = set()
             for u in reps:
                 if u in gprime_neighbors:
-                    has_piece = True
+                    r = old_root
+                    if r is None:
+                        continue  # the deleted node's tree died with it
                 else:
-                    group |= self.members[self.label[u]]
-            if has_piece:
-                group |= old_members
-                placed_old = True
-            groups.append(group)
+                    r = self._find(u)
+                if r == old_root:
+                    placed_old = True
+                if r not in seen_roots:
+                    seen_roots.add(r)
+                    roots.append(r)
+            if not roots:
+                continue
+            components_after += 1
+            for r in roots:
+                merged_label_set.add(self._root_label[r])
 
-        if old_members and not placed_old:
+            if len(roots) == 1:
+                largest = max(largest, len(self._root_members[roots[0]]))
+                continue
+
+            final = min(self._root_label[r] for r in roots)
+            # Charge every member of every class whose label loses.
+            for r in roots:
+                if self._root_label[r] != final:
+                    total_changes += len(self._root_members[r])
+                    total_msgs += self._charge_members(self._root_members[r])
+
+            # Union: smaller member sets fold into the largest.
+            big = max(roots, key=lambda r: len(self._root_members[r]))
+            big_set = self._root_members[big]
+            for r in roots:
+                del self._label_root[self._root_label[r]]
+                if r != big:
+                    self._parent[r] = big
+                    big_set |= self._root_members.pop(r)
+                    del self._root_label[r]
+            self._root_label[big] = final
+            self._label_root[final] = big
+            largest = max(largest, len(big_set))
+
+        if old_root is not None and not placed_old:
             # The deleted node's former tree is untouched by this round
             # (it had no G′-neighbor among the participants).
-            groups.append(set(old_members))
-        return groups, False
+            components_after += 1
+            merged_label_set.add(deleted_label)
+            largest = max(largest, len(self._root_members[old_root]))
+
+        return RoundStats(
+            deleted=deleted,
+            id_changes=total_changes,
+            messages_sent=total_msgs,
+            components_merged=len(merged_label_set),
+            components_after=components_after,
+            largest_component=largest,
+            split=False,
+        )
+
+    def _charge_members(self, members: set[Node]) -> int:
+        """Charge an ID change (and per-G-neighbor announcements) to every
+        node in ``members``; returns the messages sent."""
+        graph = self.graph
+        id_changes = self.id_changes
+        messages_sent = self.messages_sent
+        received = self.messages_received
+        msgs = 0
+        for u in members:
+            id_changes[u] += 1
+            if graph.has_node(u):
+                nbrs = graph.neighbors_view(u)
+                deg = len(nbrs)
+                messages_sent[u] += deg
+                msgs += deg
+                for w in nbrs:
+                    received[w] += 1
+        return msgs
 
     # ------------------------------------------------------------------
     # Slow path: BFS over the affected region of G′
     # ------------------------------------------------------------------
-    def _slow_groups(
-        self, deleted_label: NodeId, participants: Sequence[Node]
-    ) -> tuple[list[set[Node]], bool]:
-        """Recompute components of the affected region by BFS on G′."""
-        affected: set[Node] = set(self.members.get(deleted_label, set()))
+    def _collect_roots(
+        self, labels: Iterable[NodeId], participants: Sequence[Node]
+    ) -> list[Node]:
+        """Distinct class roots named by ``labels`` or owning a participant."""
+        roots: list[Node] = []
+        seen: set[Node] = set()
+        for lbl in labels:
+            r = self._label_root.get(lbl)
+            if r is not None and r not in seen:
+                seen.add(r)
+                roots.append(r)
         for u in participants:
-            lbl = self.label.get(u)
-            if lbl is not None:
-                affected |= self.members[lbl]
+            try:
+                r = self._find(u)
+            except KeyError:
+                continue
+            if r in self._root_members and r not in seen:
+                seen.add(r)
+                roots.append(r)
+        return roots
 
+    def _region_of(
+        self, roots: Iterable[Node]
+    ) -> tuple[set[Node], dict[Node, NodeId]]:
+        """Member union of ``roots`` plus a per-node pre-round label map
+        (built in one pass so the apply step never rescans groups)."""
+        affected: set[Node] = set()
+        old_label: dict[Node, NodeId] = {}
+        for r in roots:
+            lbl = self._root_label[r]
+            mem = self._root_members[r]
+            affected |= mem
+            for u in mem:
+                old_label[u] = lbl
+        return affected, old_label
+
+    def _bfs_groups(
+        self, affected: set[Node], old_label: dict[Node, NodeId]
+    ) -> tuple[list[set[Node]], list[set[NodeId]]]:
+        """True G′ components of ``affected``, with each group's pre-round
+        label set collected during the traversal."""
         groups: list[set[Node]] = []
+        group_labels: list[set[NodeId]] = []
         seen: set[Node] = set()
         for start in affected:
             if start in seen:
                 continue
             comp = {start}
+            labels = {old_label[start]}
             frontier: deque[Node] = deque([start])
             while frontier:
                 x = frontier.popleft()
                 for y in self.healing_graph.neighbors_view(x):
                     if y in affected and y not in comp:
                         comp.add(y)
+                        labels.add(old_label[y])
                         frontier.append(y)
             seen |= comp
             groups.append(comp)
+            group_labels.append(labels)
+        return groups, group_labels
 
-        old_members = self.members.get(deleted_label, set())
-        groups_with_old = (
-            sum(1 for g in groups if g & old_members) if old_members else 0
+    def _slow_groups(
+        self, deleted_label: NodeId, participants: Sequence[Node]
+    ) -> tuple[list[set[Node]], list[set[NodeId]], dict[Node, NodeId], bool]:
+        """Recompute components of the affected region by BFS on G′."""
+        roots = self._collect_roots((deleted_label,), participants)
+        affected, old_label = self._region_of(roots)
+        groups, group_labels = self._bfs_groups(affected, old_label)
+        # The heal failed to re-merge the deleted node's component iff its
+        # old label survives in more than one resulting group (labels are
+        # unique, so label membership equals old-member intersection).
+        groups_with_old = sum(
+            1 for labels in group_labels if deleted_label in labels
         )
-        return groups, groups_with_old > 1
+        return groups, group_labels, old_label, groups_with_old > 1
 
     # ------------------------------------------------------------------
-    # Relabelling + message accounting
+    # Relabelling + message accounting (slow/batch apply step)
     # ------------------------------------------------------------------
-    def _apply_groups(
-        self, deleted: Node, groups: list[set[Node]]
+    def _apply_rebuild(
+        self,
+        groups: list[set[Node]],
+        group_labels: list[set[NodeId]],
+        old_label: dict[Node, NodeId],
     ) -> tuple[int, int]:
-        """Assign final labels to ``groups`` and charge ID-change messages.
+        """Rebuild the union-find classes for ``groups`` and charge
+        ID-change messages.
 
         Merge semantics follow the paper: the new label is the minimum of
         the labels being merged (MINID), even when the ID's originating
         node is long deleted. When a component *splits* (non-paper healers
         only), each piece is relabelled with the minimum initial ID among
-        its own members, which preserves global label uniqueness.
+        its own members, which preserves global label uniqueness. Splits
+        are detected from the per-group label sets collected during the
+        BFS — a pre-round label claimed by more than one group — without
+        rescanning any group.
         """
-        # Detect splits: a pre-round label claimed by >1 group.
         claims: dict[NodeId, int] = {}
-        for g in groups:
-            for lbl in {self.label[u] for u in g}:
+        for labels in group_labels:
+            for lbl in labels:
                 claims[lbl] = claims.get(lbl, 0) + 1
 
         total_changes = 0
         total_msgs = 0
-        new_members: dict[NodeId, set[Node]] = {}
         consumed: set[NodeId] = set()
-        for g in groups:
+        assignments: list[tuple[NodeId, set[Node]]] = []
+        graph = self.graph
+        for g, labels in zip(groups, group_labels):
             if not g:
                 continue
-            old_labels = {self.label[u] for u in g}
-            if any(claims[lbl] > 1 for lbl in old_labels):
+            if any(claims[lbl] > 1 for lbl in labels):
                 final = min(self.initial_ids[u] for u in g)
             else:
-                final = min(old_labels)
-            consumed |= old_labels
-            new_members.setdefault(final, set()).update(g)
+                final = min(labels)
+            consumed |= labels
+            assignments.append((final, g))
             for u in g:
-                if self.label[u] != final:
-                    self.label[u] = final
+                if old_label[u] != final:
                     self.id_changes[u] += 1
                     total_changes += 1
-                    deg = self.graph.degree(u) if self.graph.has_node(u) else 0
-                    self.messages_sent[u] += deg
-                    total_msgs += deg
-                    for w in self.graph.neighbors_view(u):
-                        self.messages_received[w] += 1
+                    if graph.has_node(u):
+                        nbrs = graph.neighbors_view(u)
+                        deg = len(nbrs)
+                        self.messages_sent[u] += deg
+                        total_msgs += deg
+                        for w in nbrs:
+                            self.messages_received[w] += 1
 
+        # Tear down the consumed classes, then install the new ones.
         for lbl in consumed:
-            self.members.pop(lbl, None)
-        for lbl, mem in new_members.items():
-            existing = self.members.get(lbl)
-            if existing is not None and existing is not mem and existing != mem:
-                raise SimulationError(f"label collision on {lbl!r}")
-            self.members[lbl] = mem
+            r = self._label_root.pop(lbl, None)
+            if r is not None:
+                self._root_members.pop(r, None)
+                self._root_label.pop(r, None)
+        parent = self._parent
+        for final, g in assignments:
+            existing = self._label_root.get(final)
+            if existing is not None and self._root_members[existing] != g:
+                raise SimulationError(f"label collision on {final!r}")
+            root = existing if existing is not None else next(iter(g))
+            for u in g:
+                parent[u] = root
+            parent[root] = root
+            self._root_members[root] = g
+            self._root_label[root] = final
+            self._label_root[final] = root
         return total_changes, total_msgs
 
     # ------------------------------------------------------------------
     # Verification hook (tests / paranoid mode)
     # ------------------------------------------------------------------
     def check_consistency(self) -> None:
-        """Verify label/member agreement and that labels match the true
-        connected components of G′. O(n + m); for tests and paranoid runs."""
+        """Verify the union-find tables against BFS ground truth: member
+        sets partition the live nodes, the label↔root indexes agree, and
+        the tracked components match the true connected components of G′.
+        O(n + m); for tests and paranoid runs."""
         from repro.graph.traversal import connected_components
 
         seen: set[Node] = set()
-        for lbl, mem in self.members.items():
+        for root, mem in self._root_members.items():
+            lbl = self._root_label.get(root)
+            if lbl is None or self._label_root.get(lbl) != root:
+                raise SimulationError(
+                    f"label/root index mismatch for root {root!r}"
+                )
             for u in mem:
-                if self.label.get(u) != lbl:
+                if self._find(u) != root:
                     raise SimulationError(f"member {u!r} mislabelled")
                 if u in seen:
                     raise SimulationError(f"node {u!r} in two components")
                 seen.add(u)
-        if seen != set(self.label):
-            raise SimulationError("members/label node sets disagree")
+        if len(self._label_root) != len(self._root_members):
+            raise SimulationError("duplicate component labels")
         true_comps = {
             frozenset(c) for c in connected_components(self.healing_graph)
         }
-        tracked = {frozenset(mem) for mem in self.members.values()}
+        tracked = {frozenset(mem) for mem in self._root_members.values()}
         if true_comps != tracked:
             raise SimulationError(
                 "tracked components disagree with G' connectivity: "

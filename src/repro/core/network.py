@@ -129,6 +129,29 @@ class SelfHealingNetwork:
     # ------------------------------------------------------------------
     # The round
     # ------------------------------------------------------------------
+    def _build_snapshot(
+        self,
+        deleted: Node,
+        deleted_label: NodeId,
+        g_nbrs: frozenset[Node],
+        gp_nbrs: frozenset[Node],
+        degree: dict[Node, int],
+    ) -> NeighborhoodSnapshot:
+        """Assemble a healer view from a neighborhood and its *pre-round*
+        degrees (the single source of the snapshot field semantics — both
+        the live-deletion path and the pre-deletion inspection path build
+        through here)."""
+        return NeighborhoodSnapshot(
+            deleted=deleted,
+            deleted_label=deleted_label,
+            g_neighbors=g_nbrs,
+            gprime_neighbors=gp_nbrs,
+            labels={u: self.tracker.label_of(u) for u in g_nbrs},
+            initial_ids={u: self.initial_ids[u] for u in g_nbrs},
+            delta={u: degree[u] - self.initial_degree[u] for u in g_nbrs},
+            degree=degree,
+        )
+
     def snapshot_neighborhood(self, node: Node) -> NeighborhoodSnapshot:
         """Capture the healer's view of ``node``'s neighborhood (pre-deletion)."""
         if not self.graph.has_node(node):
@@ -139,17 +162,12 @@ class SelfHealingNetwork:
             if self.healing_graph.has_node(node)
             else frozenset()
         )
-        return NeighborhoodSnapshot(
-            deleted=node,
-            deleted_label=self.tracker.label_of(node),
-            g_neighbors=g_nbrs,
-            gprime_neighbors=gp_nbrs,
-            labels={u: self.tracker.label_of(u) for u in g_nbrs},
-            initial_ids={u: self.initial_ids[u] for u in g_nbrs},
-            delta={
-                u: self.graph.degree(u) - self.initial_degree[u] for u in g_nbrs
-            },
-            degree={u: self.graph.degree(u) for u in g_nbrs},
+        return self._build_snapshot(
+            node,
+            self.tracker.label_of(node),
+            g_nbrs,
+            gp_nbrs,
+            {u: self.graph.degree(u) for u in g_nbrs},
         )
 
     def _validate_plan(
@@ -182,14 +200,28 @@ class SelfHealingNetwork:
 
         Returns the :class:`HealEvent`; also appends it to ``self.events``.
         """
-        snapshot = self.snapshot_neighborhood(node)
+        if not self.graph.has_node(node):
+            raise NodeNotFoundError(node)
+        deleted_label = self.tracker.label_of(node)
 
         # Deletion: the adversary removes the node from the real network;
-        # its healing edges disappear with it.
-        self.graph.remove_node(node)
-        if self.healing_graph.has_node(node):
-            self.healing_graph.remove_node(node)
+        # its healing edges disappear with it. The snapshot is assembled
+        # from the neighbor sets the removals hand back (no extra copies);
+        # each ex-neighbor's pre-round degree is its current degree + 1.
+        g_nbrs = frozenset(self.graph.remove_node(node))
+        gp_nbrs = (
+            frozenset(self.healing_graph.remove_node(node))
+            if self.healing_graph.has_node(node)
+            else frozenset()
+        )
         self.deleted_nodes.append(node)
+        snapshot = self._build_snapshot(
+            node,
+            deleted_label,
+            g_nbrs,
+            gp_nbrs,
+            {u: self.graph.degree(u) + 1 for u in g_nbrs},
+        )
 
         # Healing: the neighbors react.
         plan = self.healer.plan(snapshot)
@@ -316,35 +348,20 @@ class SelfHealingNetwork:
         events: list[HealEvent] = []
         for comp, g_nbrs, gp_nbrs, dead_labels in infos:
             super_node = frozenset(comp)
-            snapshot = NeighborhoodSnapshot(
-                deleted=super_node,
-                deleted_label=min(dead_labels),
-                g_neighbors=g_nbrs,
-                gprime_neighbors=gp_nbrs,
-                labels={u: self.tracker.label_of(u) for u in g_nbrs},
-                initial_ids={u: self.initial_ids[u] for u in g_nbrs},
-                delta={
-                    u: self.graph.degree(u) - self.initial_degree[u]
-                    for u in g_nbrs
-                },
-                degree={u: self.graph.degree(u) for u in g_nbrs},
-            )
             # UN must exclude *every* dead component's label: survivors in
             # a split tree reach the RT through their piece's G′-neighbor.
-            filtered_labels = {
-                u: lbl
-                for u, lbl in snapshot.labels.items()
-                if lbl not in dead_labels or u in gp_nbrs
-            }
-            snapshot = NeighborhoodSnapshot(
-                deleted=super_node,
-                deleted_label=snapshot.deleted_label,
-                g_neighbors=frozenset(filtered_labels),
-                gprime_neighbors=gp_nbrs,
-                labels=filtered_labels,
-                initial_ids={u: snapshot.initial_ids[u] for u in filtered_labels},
-                delta={u: snapshot.delta[u] for u in filtered_labels},
-                degree={u: snapshot.degree[u] for u in filtered_labels},
+            kept = frozenset(
+                u
+                for u in g_nbrs
+                if self.tracker.label_of(u) not in dead_labels
+                or u in gp_nbrs
+            )
+            snapshot = self._build_snapshot(
+                super_node,
+                min(dead_labels),
+                kept,
+                gp_nbrs,
+                {u: self.graph.degree(u) for u in kept},
             )
 
             plan = self.healer.plan(snapshot)

@@ -33,21 +33,21 @@ class Sdash(Healer):
     name: ClassVar[str] = "sdash"
 
     def plan(self, snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
-        participants = snapshot.participants()
-        if len(participants) >= 2:
-            by_delta = snapshot.sort_by_delta(participants)
-            w = by_delta[0]
-            m = by_delta[-1]
-            if snapshot.delta[w] + len(participants) - 1 <= snapshot.delta[m]:
-                others = [u for u in by_delta if u != w]
+        # One sort serves both branches (the seed sorted again on the
+        # binary-tree fallback); keys are cached per snapshot.
+        ordered = snapshot.sort_by_delta(snapshot.participants())
+        if len(ordered) >= 2:
+            w = ordered[0]
+            m = ordered[-1]
+            if snapshot.delta[w] + len(ordered) - 1 <= snapshot.delta[m]:
+                others = ordered[1:]
                 return ReconnectionPlan(
-                    participants=tuple([w] + others),
+                    participants=tuple(ordered),
                     edges=tuple(star_edges(w, others)),
                     kind="surrogate",
                     component_safe=True,
                     center=w,
                 )
-        ordered = snapshot.sort_by_delta(participants)
         edges = complete_binary_tree_edges(ordered)
         return ReconnectionPlan(
             participants=tuple(ordered),

@@ -39,7 +39,8 @@ class Graph:
     >>> g = Graph.from_edges([(0, 1), (1, 2)])
     >>> g.degree(1)
     2
-    >>> g.remove_node(1)
+    >>> sorted(g.remove_node(1))
+    [0, 2]
     >>> sorted(g.nodes())
     [0, 2]
     >>> g.num_edges
@@ -75,13 +76,17 @@ class Graph:
         return g
 
     def subgraph(self, keep: Iterable[Node]) -> "Graph":
-        """Induced subgraph on ``keep`` (unknown labels are ignored)."""
+        """Induced subgraph on ``keep`` (unknown labels are ignored).
+
+        Built by intersecting adjacency sets directly — no per-edge
+        ``has_edge`` probes, and each undirected edge is materialized once
+        per endpoint by the set intersection itself.
+        """
         keep_set = {u for u in keep if u in self._adj}
-        g = Graph(keep_set)
-        for u in keep_set:
-            for v in self._adj[u]:
-                if v in keep_set and not g.has_edge(u, v):
-                    g.add_edge(u, v)
+        g = Graph()
+        adj = {u: self._adj[u] & keep_set for u in keep_set}
+        g._adj = adj
+        g._num_edges = sum(len(nbrs) for nbrs in adj.values()) // 2
         return g
 
     # ------------------------------------------------------------------
@@ -92,8 +97,10 @@ class Graph:
         if node not in self._adj:
             self._adj[node] = set()
 
-    def remove_node(self, node: Node) -> None:
-        """Remove ``node`` and all incident edges.
+    def remove_node(self, node: Node) -> set[Node]:
+        """Remove ``node`` and all incident edges; returns its ex-neighbor
+        set (ownership transfers to the caller — the graph no longer
+        references it, so no defensive copy is needed).
 
         Raises :class:`NodeNotFoundError` if absent — deleting a node twice
         in the simulation is always a logic error worth failing loudly on.
@@ -105,6 +112,7 @@ class Graph:
         for v in nbrs:
             self._adj[v].discard(node)
         self._num_edges -= len(nbrs)
+        return nbrs
 
     def has_node(self, node: Node) -> bool:
         return node in self._adj

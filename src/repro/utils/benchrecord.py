@@ -1,0 +1,90 @@
+"""Machine-readable benchmark persistence.
+
+Every benchmark run appends/overwrites its workloads in a single JSON
+file (``BENCH_core.json``), next to the human-readable text tables the
+figure drivers already emit. The file is merge-on-write: a quick CI run
+updates only the workloads it measured, leaving FULL-mode entries from
+earlier runs intact — so the performance trajectory of the hot paths is
+tracked across PRs without requiring every run to re-measure everything.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "workloads": {
+        "<workload name>": {
+          "seconds": 0.204,
+          "rounds": 4000,
+          "rounds_per_sec": 19607.8,
+          "ns_per_round": 51000,
+          "recorded_at": "2026-07-29T12:00:00",
+          "python": "3.12.3",
+          ... workload-specific extras ...
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+__all__ = ["BenchRecorder"]
+
+
+class BenchRecorder:
+    """Read-modify-write recorder for one benchmark JSON file."""
+
+    SCHEMA = 1
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> dict:
+        """Current file contents (a fresh skeleton if absent/corrupt)."""
+        if self.path.exists():
+            try:
+                data = json.loads(self.path.read_text())
+                if isinstance(data, dict) and "workloads" in data:
+                    return data
+            except (ValueError, OSError):
+                # Truncated/corrupt/undecodable file: start fresh rather
+                # than fail every benchmark (ValueError covers both
+                # JSONDecodeError and UnicodeDecodeError).
+                pass
+        return {"schema": self.SCHEMA, "workloads": {}}
+
+    def record(
+        self,
+        workload: str,
+        *,
+        seconds: float,
+        rounds: int | None = None,
+        **extra: object,
+    ) -> dict:
+        """Persist one workload measurement; returns the entry written.
+
+        ``rounds`` (deletion+heal rounds executed) derives the throughput
+        fields; ``extra`` keys land verbatim in the entry.
+        """
+        entry: dict = {"seconds": round(seconds, 6)}
+        if rounds is not None:
+            entry["rounds"] = rounds
+            if seconds > 0:
+                entry["rounds_per_sec"] = round(rounds / seconds, 2)
+            if rounds > 0:
+                entry["ns_per_round"] = round(seconds / rounds * 1e9)
+        entry.update(extra)
+        entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        entry["python"] = platform.python_version()
+
+        data = self.load()
+        data["workloads"][workload] = entry
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+        return entry

@@ -7,6 +7,7 @@ import random
 import pytest
 
 from repro.analysis.invariants import (
+    check_component_labels,
     check_connectivity_invariant,
     check_degree_bound,
     check_forest_invariant,
@@ -33,6 +34,7 @@ class TestCheckers:
             net.delete_and_heal(rng.choice(sorted(net.graph.nodes())))
         check_forest_invariant(net)
         check_connectivity_invariant(net)
+        check_component_labels(net)
         check_degree_bound(net)
         check_healing_subset(net)
 
@@ -51,6 +53,20 @@ class TestCheckers:
         net.delete_and_heal(0)
         with pytest.raises(InvariantViolation):
             check_connectivity_invariant(net)
+
+    def test_component_label_violation_detected(self):
+        g = preferential_attachment(20, 2, seed=4)
+        net = SelfHealingNetwork(g, Dash(), seed=4)
+        net.delete_and_heal(next(iter(net.graph.nodes())))
+        check_component_labels(net)
+        # Corrupt G′ behind the tracker's back: join two components the
+        # tracker still believes are separate.
+        labels = net.tracker.labels()
+        a = next(iter(labels))
+        b = next(u for u in labels if labels[u] != labels[a])
+        net.healing_graph.add_edge(a, b)
+        with pytest.raises(InvariantViolation):
+            check_component_labels(net)
 
     def test_degree_bound_factor(self):
         g = star_graph(4)

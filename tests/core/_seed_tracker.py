@@ -1,0 +1,436 @@
+"""Verbatim copy of the pre-union-find (seed) ComponentTracker.
+
+This is the reference implementation for the differential tests in
+``test_tracker_differential.py``: the production tracker in
+:mod:`repro.core.components` was rewritten around a weighted union-find,
+and the rewrite's labels, ``id_changes``, and ``messages_sent`` must stay
+byte-identical to this seed's per-round accounting. Do not "improve" this
+file — its value is that it does not change.
+
+Original module docstring follows.
+
+---
+
+Component-ID tracking: the paper's MINID machinery, with cost accounting.
+
+DASH keeps every node labelled with the minimum ID of its connected
+component *in the healing graph G′* (Algorithm 1, step 5). The label is
+what lets a healer pick one representative per component (``UN(v, G)``)
+without global communication — two G-neighbors of the deleted node share a
+label iff they are already connected through healing edges.
+
+This module implements that bookkeeping centrally, together with the cost
+model of Lemmas 8–9:
+
+* every time a node's ID changes, it sends one message to each current
+  G-neighbor (we count sends and receives separately);
+* the per-round "propagation work" equals the number of ID-change
+  transmissions, which is the quantity the paper amortizes to O(log n)
+  per deletion.
+
+IDs are pairs ``(random_draw, node_label)`` so they are unique and totally
+ordered even in the measure-zero event of equal random draws.
+
+The tracker is healer-agnostic. For healers that reconnect exactly
+``UN(v,G) ∪ N(v,G′)`` (DASH, SDASH, and the component-aware baselines) a
+fast path merges member sets without any graph traversal; for arbitrary
+healers (GraphHeal adds cycles; NoHeal adds nothing) a BFS over the
+affected region recomputes components honestly, including persistent
+splits, which the paper's model never needs but a library must survive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+
+__all__ = ["NodeId", "ComponentTracker", "RoundStats", "make_node_ids"]
+
+Node = Hashable
+#: A node ID as assigned by DASH's Init step: unique and totally ordered.
+NodeId = tuple[float, int]
+
+
+def make_node_ids(nodes: Iterable[Node], rng) -> dict[Node, NodeId]:
+    """Assign each node a random ID in [0, 1], per Algorithm 1 step 1.
+
+    The node label is appended as a tie-breaker, making IDs unique with
+    probability 1 (instead of merely almost surely).
+    """
+    return {u: (rng.random(), u) for u in nodes}
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Cost accounting for one deletion+heal round."""
+
+    deleted: Node
+    #: number of nodes whose component ID changed this round
+    id_changes: int
+    #: total ID-announcement messages sent this round (Σ deg of changers)
+    messages_sent: int
+    #: number of pre-round components merged by the healing edges
+    components_merged: int
+    #: number of components the affected region forms after healing
+    components_after: int
+    #: size of the largest resulting affected component
+    largest_component: int
+    #: True when the healer failed to re-merge the deleted node's component
+    split: bool
+
+
+@dataclass
+class ComponentTracker:
+    """Tracks component labels of the healing graph G′ plus message costs.
+
+    Parameters
+    ----------
+    graph:
+        The live network G (used for message fan-out: an ID change is
+        announced to all current G-neighbors).
+    healing_graph:
+        G′, the graph of healer-added edges. The tracker reads it during
+        slow-path recomputation; it never mutates it.
+    initial_ids:
+        The DASH node IDs; each node starts as a singleton component
+        labelled by its own ID.
+    """
+
+    graph: Graph
+    healing_graph: Graph
+    initial_ids: Mapping[Node, NodeId]
+    label: dict[Node, NodeId] = field(init=False)
+    members: dict[NodeId, set[Node]] = field(init=False)
+    id_changes: dict[Node, int] = field(init=False)
+    messages_sent: dict[Node, int] = field(init=False)
+    messages_received: dict[Node, int] = field(init=False)
+    rounds: list[RoundStats] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.label = dict(self.initial_ids)
+        self.members = {iid: {u} for u, iid in self.initial_ids.items()}
+        self.id_changes = {u: 0 for u in self.initial_ids}
+        self.messages_sent = {u: 0 for u in self.initial_ids}
+        self.messages_received = {u: 0 for u in self.initial_ids}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def label_of(self, node: Node) -> NodeId:
+        return self.label[node]
+
+    def component_members(self, node: Node) -> frozenset[Node]:
+        """All nodes sharing ``node``'s component label (i.e. its G′ component)."""
+        return frozenset(self.members[self.label[node]])
+
+    def num_components(self) -> int:
+        return len(self.members)
+
+    def total_messages(self) -> int:
+        return sum(self.messages_sent.values())
+
+    # ------------------------------------------------------------------
+    # The deletion+heal round
+    # ------------------------------------------------------------------
+    def round(
+        self,
+        deleted: Node,
+        deleted_label: NodeId,
+        participants: Sequence[Node],
+        gprime_neighbors: frozenset[Node],
+        component_safe: bool,
+        plan_edges: Sequence[tuple[Node, Node]],
+    ) -> RoundStats:
+        """Process one round, *after* the network has already removed
+        ``deleted`` from G/G′ and inserted ``plan_edges`` into both.
+
+        ``component_safe`` asserts that ``participants`` equals
+        ``UN(v,G) ∪ N(v,G′)`` — one representative per pre-round component
+        plus every G′-neighbor of the deleted node — enabling the
+        traversal-free merge path. The caller (the healer, via the plan)
+        vouches for this; the slow path is used otherwise.
+        """
+        # Remove the deleted node from its component's membership.
+        self.remove_node(deleted, deleted_label)
+
+        if component_safe:
+            groups, split = self._fast_groups(
+                deleted_label, participants, gprime_neighbors, plan_edges
+            )
+        else:
+            groups, split = self._slow_groups(deleted_label, participants)
+        groups = [g for g in groups if g]
+
+        merged_labels = {
+            self.label[u] for group in groups for u in group if u in self.label
+        }
+        stats = self._apply_groups(deleted, groups)
+        return RoundStats(
+            deleted=deleted,
+            id_changes=stats[0],
+            messages_sent=stats[1],
+            components_merged=len(merged_labels),
+            components_after=len(groups),
+            largest_component=max((len(g) for g in groups), default=0),
+            split=split,
+        )
+
+    def remove_node(self, node: Node, expected_label: NodeId) -> None:
+        """Drop ``node`` from the membership tables (it was deleted)."""
+        mem = self.members.get(expected_label)
+        if mem is None or node not in mem:
+            raise SimulationError(
+                f"deleted node {node!r} not tracked under label "
+                f"{expected_label!r}"
+            )
+        mem.discard(node)
+        if not mem:
+            del self.members[expected_label]
+        self.label.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # Batch rounds (simultaneous multi-node deletion — footnote 1)
+    # ------------------------------------------------------------------
+    def batch_round(
+        self,
+        affected_labels: set[NodeId],
+        participants: Sequence[Node],
+        plan_edges: Sequence[tuple[Node, Node]],
+    ) -> RoundStats:
+        """Relabel after a *batch* heal. The caller has already removed
+        every victim (via :meth:`remove_node`) and inserted the healing
+        edges into G/G′. Always takes the traversal path — batch deletion
+        is an extension feature, not a hot loop.
+        """
+        affected: set[Node] = set()
+        for lbl in affected_labels:
+            affected |= self.members.get(lbl, set())
+        for u in participants:
+            lbl = self.label.get(u)
+            if lbl is not None:
+                affected |= self.members[lbl]
+
+        groups: list[set[Node]] = []
+        seen: set[Node] = set()
+        for start in affected:
+            if start in seen:
+                continue
+            comp = {start}
+            frontier: deque[Node] = deque([start])
+            while frontier:
+                x = frontier.popleft()
+                for y in self.healing_graph.neighbors_view(x):
+                    if y in affected and y not in comp:
+                        comp.add(y)
+                        frontier.append(y)
+            seen |= comp
+            groups.append(comp)
+
+        merged_labels = {
+            self.label[u] for g in groups for u in g if u in self.label
+        }
+        claims: dict[NodeId, int] = {}
+        for g in groups:
+            for lbl in {self.label[u] for u in g}:
+                claims[lbl] = claims.get(lbl, 0) + 1
+        split = any(c > 1 for c in claims.values())
+        changes, msgs = self._apply_groups(None, groups)
+        return RoundStats(
+            deleted=None,
+            id_changes=changes,
+            messages_sent=msgs,
+            components_merged=len(merged_labels),
+            components_after=len(groups),
+            largest_component=max((len(g) for g in groups), default=0),
+            split=split,
+        )
+
+    # ------------------------------------------------------------------
+    # Fast path: quotient union-find over (pieces of Tv) ∪ (UN components)
+    # ------------------------------------------------------------------
+    def _fast_groups(
+        self,
+        deleted_label: NodeId,
+        participants: Sequence[Node],
+        gprime_neighbors: frozenset[Node],
+        plan_edges: Sequence[tuple[Node, Node]],
+    ) -> tuple[list[set[Node]], bool]:
+        """Resulting component groups without traversing G′.
+
+        Quotient vertices: each G′-neighbor of the deleted node stands for
+        the piece of the deleted node's tree that contains it (the pieces
+        are disjoint because G′ is a forest for component-safe healers);
+        each other participant stands for its whole pre-round component.
+        The plan edges connect quotient vertices; resulting groups are the
+        union-find classes. Member sets are only unioned, never traversed.
+        """
+        parent: dict[Node, Node] = {u: u for u in participants}
+
+        def find(x: Node) -> Node:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in plan_edges:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        classes: dict[Node, list[Node]] = {}
+        for u in participants:
+            classes.setdefault(find(u), []).append(u)
+
+        # If the plan leaves the pieces of the deleted node's tree spread
+        # over more than one class, attributing members to individual
+        # pieces requires a real traversal — defer to the slow path.
+        piece_classes = sum(
+            1
+            for reps in classes.values()
+            if any(u in gprime_neighbors for u in reps)
+        )
+        if piece_classes > 1:
+            return self._slow_groups(deleted_label, participants)
+
+        old_members = self.members.get(deleted_label, set())
+        groups: list[set[Node]] = []
+        placed_old = False
+        for reps in classes.values():
+            group: set[Node] = set()
+            has_piece = False
+            for u in reps:
+                if u in gprime_neighbors:
+                    has_piece = True
+                else:
+                    group |= self.members[self.label[u]]
+            if has_piece:
+                group |= old_members
+                placed_old = True
+            groups.append(group)
+
+        if old_members and not placed_old:
+            # The deleted node's former tree is untouched by this round
+            # (it had no G′-neighbor among the participants).
+            groups.append(set(old_members))
+        return groups, False
+
+    # ------------------------------------------------------------------
+    # Slow path: BFS over the affected region of G′
+    # ------------------------------------------------------------------
+    def _slow_groups(
+        self, deleted_label: NodeId, participants: Sequence[Node]
+    ) -> tuple[list[set[Node]], bool]:
+        """Recompute components of the affected region by BFS on G′."""
+        affected: set[Node] = set(self.members.get(deleted_label, set()))
+        for u in participants:
+            lbl = self.label.get(u)
+            if lbl is not None:
+                affected |= self.members[lbl]
+
+        groups: list[set[Node]] = []
+        seen: set[Node] = set()
+        for start in affected:
+            if start in seen:
+                continue
+            comp = {start}
+            frontier: deque[Node] = deque([start])
+            while frontier:
+                x = frontier.popleft()
+                for y in self.healing_graph.neighbors_view(x):
+                    if y in affected and y not in comp:
+                        comp.add(y)
+                        frontier.append(y)
+            seen |= comp
+            groups.append(comp)
+
+        old_members = self.members.get(deleted_label, set())
+        groups_with_old = (
+            sum(1 for g in groups if g & old_members) if old_members else 0
+        )
+        return groups, groups_with_old > 1
+
+    # ------------------------------------------------------------------
+    # Relabelling + message accounting
+    # ------------------------------------------------------------------
+    def _apply_groups(
+        self, deleted: Node, groups: list[set[Node]]
+    ) -> tuple[int, int]:
+        """Assign final labels to ``groups`` and charge ID-change messages.
+
+        Merge semantics follow the paper: the new label is the minimum of
+        the labels being merged (MINID), even when the ID's originating
+        node is long deleted. When a component *splits* (non-paper healers
+        only), each piece is relabelled with the minimum initial ID among
+        its own members, which preserves global label uniqueness.
+        """
+        # Detect splits: a pre-round label claimed by >1 group.
+        claims: dict[NodeId, int] = {}
+        for g in groups:
+            for lbl in {self.label[u] for u in g}:
+                claims[lbl] = claims.get(lbl, 0) + 1
+
+        total_changes = 0
+        total_msgs = 0
+        new_members: dict[NodeId, set[Node]] = {}
+        consumed: set[NodeId] = set()
+        for g in groups:
+            if not g:
+                continue
+            old_labels = {self.label[u] for u in g}
+            if any(claims[lbl] > 1 for lbl in old_labels):
+                final = min(self.initial_ids[u] for u in g)
+            else:
+                final = min(old_labels)
+            consumed |= old_labels
+            new_members.setdefault(final, set()).update(g)
+            for u in g:
+                if self.label[u] != final:
+                    self.label[u] = final
+                    self.id_changes[u] += 1
+                    total_changes += 1
+                    deg = self.graph.degree(u) if self.graph.has_node(u) else 0
+                    self.messages_sent[u] += deg
+                    total_msgs += deg
+                    for w in self.graph.neighbors_view(u):
+                        self.messages_received[w] += 1
+
+        for lbl in consumed:
+            self.members.pop(lbl, None)
+        for lbl, mem in new_members.items():
+            existing = self.members.get(lbl)
+            if existing is not None and existing is not mem and existing != mem:
+                raise SimulationError(f"label collision on {lbl!r}")
+            self.members[lbl] = mem
+        return total_changes, total_msgs
+
+    # ------------------------------------------------------------------
+    # Verification hook (tests / paranoid mode)
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Verify label/member agreement and that labels match the true
+        connected components of G′. O(n + m); for tests and paranoid runs."""
+        from repro.graph.traversal import connected_components
+
+        seen: set[Node] = set()
+        for lbl, mem in self.members.items():
+            for u in mem:
+                if self.label.get(u) != lbl:
+                    raise SimulationError(f"member {u!r} mislabelled")
+                if u in seen:
+                    raise SimulationError(f"node {u!r} in two components")
+                seen.add(u)
+        if seen != set(self.label):
+            raise SimulationError("members/label node sets disagree")
+        true_comps = {
+            frozenset(c) for c in connected_components(self.healing_graph)
+        }
+        tracked = {frozenset(mem) for mem in self.members.values()}
+        if true_comps != tracked:
+            raise SimulationError(
+                "tracked components disagree with G' connectivity: "
+                f"{len(tracked)} tracked vs {len(true_comps)} actual"
+            )

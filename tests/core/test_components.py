@@ -99,11 +99,10 @@ class TestMergeRound:
             g_edges=[(9, 1), (9, 2), (1, 2)],
             gp_edges=[(9, 1), (9, 2)],
         )
-        # Put all three in one tracked component first.
-        tracker.label[1] = ids[1]
-        tracker.label[2] = ids[1]
-        tracker.label[9] = ids[1]
-        tracker.members = {ids[1]: {1, 2, 9}}
+        # Put all three in one tracked component first (G′ connects them).
+        tracker.rebuild_from_healing_graph()
+        assert tracker.component_members(1) == {1, 2, 9}
+        assert tracker.label_of(9) == ids[1]
         g.remove_node(9)
         gp.remove_node(9)
         gp.add_edge(1, 2)
@@ -141,8 +140,8 @@ class TestSplitRound:
             g_edges=[(9, 1), (9, 2)],
             gp_edges=[(9, 1), (9, 2)],
         )
-        tracker.label.update({1: ids[1], 2: ids[1], 9: ids[1]})
-        tracker.members = {ids[1]: {1, 2, 9}}
+        tracker.rebuild_from_healing_graph()
+        assert tracker.component_members(1) == {1, 2, 9}
         g.remove_node(9)
         gp.remove_node(9)
         stats = tracker.round(
@@ -174,10 +173,67 @@ class TestSplitRound:
         tracker.check_consistency()
 
 
+class TestDeadAndGrownNodes:
+    def test_querying_a_deleted_node_raises_even_after_merges(self):
+        """A victim's tombstone chains to the survivors' root; querying it
+        must fail loudly, not leak the surviving component's label."""
+        g, gp, tracker, ids = build([1, 2, 9], g_edges=[(9, 1), (9, 2)])
+        g.remove_node(9)
+        g.add_edge(1, 2)
+        gp.remove_node(9)
+        gp.add_edge(1, 2)
+        tracker.round(
+            deleted=9,
+            deleted_label=ids[9],
+            participants=(1, 2),
+            gprime_neighbors=frozenset(),
+            component_safe=True,
+            plan_edges=((1, 2),),
+        )
+        with pytest.raises(SimulationError):
+            tracker.label_of(9)
+        with pytest.raises(SimulationError):
+            tracker.component_members(9)
+
+    def test_add_node_records_initial_id_for_later_splits(self):
+        """A grown node must survive a split relabel (which consults
+        initial IDs) and a full rebuild."""
+        g, gp, tracker, ids = build([1, 9], gp_edges=[(9, 1)])
+        tracker.rebuild_from_healing_graph()
+        g.add_node(4)
+        gp.add_edge(9, 4)
+        tracker.add_node(4, (0.04, 4))
+        tracker.rebuild_from_healing_graph()  # consults initial_ids[4]
+        assert tracker.component_members(4) == {1, 4, 9}
+        # NoHeal-style deletion splits {1} from {4}: the split relabel
+        # takes min(initial_ids) over each piece.
+        g.remove_node(9)
+        gp.remove_node(9)
+        stats = tracker.round(
+            deleted=9,
+            deleted_label=tracker.labels()[1],
+            participants=(),
+            gprime_neighbors=frozenset({1, 4}),
+            component_safe=False,
+            plan_edges=(),
+        )
+        assert stats.split
+        assert tracker.label_of(1) != tracker.label_of(4)
+        tracker.check_consistency()
+
+    def test_add_node_guards(self):
+        _, _, tracker, ids = build([1])
+        with pytest.raises(SimulationError):
+            tracker.add_node(1, (0.5, 999))  # already tracked
+        with pytest.raises(SimulationError):
+            tracker.add_node(7, ids[1])  # label already in use
+
+
 class TestConsistencyChecker:
     def test_detects_mislabel(self):
         g, gp, tracker, ids = build([1, 2])
-        tracker.label[1] = ids[2]  # corrupt: label points elsewhere
+        # Corrupt the union-find: node 1's class claims node 2's label.
+        tracker._root_label[1] = ids[2]
         with pytest.raises(SimulationError):
             tracker.check_consistency()
 

@@ -85,11 +85,7 @@ class TestRtStructure:
         net.initial_degree[100] = 2
         net.initial_ids[100] = (0.999, 100)
         net.healing_graph.add_node(100)
-        net.tracker.label[100] = (0.999, 100)
-        net.tracker.members[(0.999, 100)] = {100}
-        net.tracker.id_changes[100] = 0
-        net.tracker.messages_sent[100] = 0
-        net.tracker.messages_received[100] = 0
+        net.tracker.add_node(100, (0.999, 100))
         event2 = net.delete_and_heal(100)
         assert len(event2.participants) == 1
         assert event2.new_edges == ()
@@ -177,13 +173,13 @@ class TestIdSemantics:
     def test_ids_only_decrease(self):
         g = preferential_attachment(30, 2, seed=2)
         net = SelfHealingNetwork(g, Dash(), seed=2)
-        prev = dict(net.tracker.label)
+        prev = net.tracker.labels()
         rng = random.Random(0)
         while net.num_alive > 1:
             net.delete_and_heal(rng.choice(sorted(net.graph.nodes())))
             for u in net.graph.nodes():
                 assert net.tracker.label_of(u) <= prev[u]
-            prev = dict(net.tracker.label)
+            prev = net.tracker.labels()
 
     def test_single_component_single_label_at_end(self):
         g = preferential_attachment(25, 2, seed=9)
