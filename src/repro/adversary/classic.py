@@ -18,6 +18,17 @@ targets the neighborhood of the node with the largest degree increase.
 
 Determinism: ties on degree are broken by node label, and the stochastic
 strategies take explicit seeds.
+
+Performance: the targeted strategies used to scan every surviving node
+per round — an O(n²) attack side that dominated full-kill campaigns once
+the healing core went O(α) — and now issue O(1)-ish queries against the
+graph's degree-bucket index (:meth:`~repro.graph.graph.Graph.max_degree_node`,
+:meth:`~repro.graph.graph.Graph.min_degree_node`) and the network's
+δ-bucket index (:meth:`~repro.core.network.SelfHealingNetwork.max_delta_node`).
+Both indexes break ties by smallest label, exactly the old scans'
+``(key, label)`` ordering, so target sequences are byte-identical to the
+scanning versions (differential-tested against the implementations
+preserved in ``tests/adversary/_scan_adversaries.py``).
 """
 
 from __future__ import annotations
@@ -43,17 +54,79 @@ __all__ = [
 Node = Hashable
 
 
-def _max_degree_node(network: "SelfHealingNetwork") -> Node | None:
-    """Current maximum-degree node, smallest label on ties; None if empty."""
-    g = network.graph
-    best: Node | None = None
-    best_key: tuple[int, object] | None = None
-    for u in g.nodes():
-        key = (-g.degree(u), u)
-        if best_key is None or key < best_key:
-            best_key = key
-            best = u
-    return best
+class _SortedNeighborCache:
+    """Incrementally maintained ``sorted(neighbors(focus))`` list.
+
+    The neighbor-sampling attacks draw from the sorted adjacency of a
+    *focus* node (the hub / the max-δ node) every round. The focus is
+    sticky — funnelling degree onto it is the attack's whole point — and
+    its adjacency changes only by the previous round's deletion and
+    healing edges, all recorded on the :class:`~repro.core.network.HealEvent`.
+    So instead of re-sorting O(deg · log deg) per round, the cache
+    replays the last event's diff (O(log deg) searches + C-level list
+    shifts) and falls back to a full sort whenever anything looks
+    unusual: focus changed, not exactly one new single-deletion event
+    since the last draw, the event's victim is not the one this
+    adversary chose, or the final length disagrees with the live degree.
+    The maintained list is always exactly ``sorted(neighbors(focus))``,
+    so draws stay byte-identical to the sort-every-round versions.
+
+    As with :class:`RandomAttack`'s survivor list, degree-preserving
+    out-of-band churn of the focus's adjacency (an edge added and another
+    removed behind the adversary's back, with no intervening event) is
+    undetectable until a trigger fires; the supported contract is the
+    simulator's reset → choose → delete loop, where the replay is exact.
+    """
+
+    __slots__ = ("focus", "nbrs", "events_seen", "last_pick")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.focus: Node | None = None
+        self.nbrs: list[Node] = []
+        self.events_seen: int = -1
+        self.last_pick: Node | None = None
+
+    def sorted_neighbors(
+        self, network: "SelfHealingNetwork", focus: Node
+    ) -> list[Node]:
+        g = network.graph
+        events = network.events
+        nbrs = self.nbrs
+        if (
+            focus == self.focus
+            and len(events) == self.events_seen + 1
+            and events
+            and events[-1].deleted == self.last_pick
+        ):
+            event = events[-1]
+            i = bisect_left(nbrs, event.deleted)
+            if i < len(nbrs) and nbrs[i] == event.deleted:
+                nbrs.pop(i)
+            for a, b in event.new_edges:
+                if a == focus:
+                    other = b
+                elif b == focus:
+                    other = a
+                else:
+                    continue
+                j = bisect_left(nbrs, other)
+                if j >= len(nbrs) or nbrs[j] != other:
+                    nbrs.insert(j, other)
+            if len(nbrs) != g.degree(focus):
+                nbrs = self.nbrs = sorted(g.neighbors_view(focus))
+        else:
+            nbrs = self.nbrs = sorted(g.neighbors_view(focus))
+        self.focus = focus
+        self.events_seen = len(events)
+        return nbrs
+
+    def picked(self, node: Node | None) -> None:
+        """Record the target handed to the simulator (the resync guard
+        compares it against the next event's victim)."""
+        self.last_pick = node
 
 
 class MaxNodeAttack(Adversary):
@@ -62,7 +135,7 @@ class MaxNodeAttack(Adversary):
     name: ClassVar[str] = "max-node"
 
     def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
-        return _max_degree_node(network)
+        return network.graph.max_degree_node()
 
 
 class NeighborOfMaxAttack(Adversary):
@@ -77,19 +150,21 @@ class NeighborOfMaxAttack(Adversary):
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._rng: random.Random = make_rng(seed)
+        self._cache = _SortedNeighborCache()
 
     def reset(self, network: "SelfHealingNetwork") -> None:
         super().reset(network)
         self._rng = make_rng(self._seed)
+        self._cache.reset()
 
     def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
-        hub = _max_degree_node(network)
+        hub = network.graph.max_degree_node()
         if hub is None:
             return None
-        nbrs = sorted(network.graph.neighbors(hub))
-        if not nbrs:
-            return hub
-        return self._rng.choice(nbrs)
+        nbrs = self._cache.sorted_neighbors(network, hub)
+        pick = self._rng.choice(nbrs) if nbrs else hub
+        self._cache.picked(pick)
+        return pick
 
 
 class RandomAttack(Adversary):
@@ -161,15 +236,7 @@ class MinDegreeAttack(Adversary):
     name: ClassVar[str] = "min-degree"
 
     def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
-        g = network.graph
-        best: Node | None = None
-        best_key: tuple[int, object] | None = None
-        for u in g.nodes():
-            key = (g.degree(u), u)
-            if best_key is None or key < best_key:
-                best_key = key
-                best = u
-        return best
+        return network.graph.min_degree_node()
 
 
 class MaxDeltaNeighborAttack(Adversary):
@@ -185,23 +252,18 @@ class MaxDeltaNeighborAttack(Adversary):
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._rng: random.Random = make_rng(seed)
+        self._cache = _SortedNeighborCache()
 
     def reset(self, network: "SelfHealingNetwork") -> None:
         super().reset(network)
         self._rng = make_rng(self._seed)
+        self._cache.reset()
 
     def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
-        g = network.graph
-        best: Node | None = None
-        best_key: tuple[int, object] | None = None
-        for u in g.nodes():
-            key = (-network.delta(u), u)
-            if best_key is None or key < best_key:
-                best_key = key
-                best = u
+        best = network.max_delta_node()
         if best is None:
             return None
-        nbrs = sorted(g.neighbors(best))
-        if not nbrs:
-            return best
-        return self._rng.choice(nbrs)
+        nbrs = self._cache.sorted_neighbors(network, best)
+        pick = self._rng.choice(nbrs) if nbrs else best
+        self._cache.picked(pick)
+        return pick

@@ -4,6 +4,7 @@ from repro.analysis.invariants import (
     check_component_labels,
     check_connectivity_invariant,
     check_degree_bound,
+    check_degree_index,
     check_forest_invariant,
     check_healing_subset,
     lemma10_degree_sum_delta,
@@ -23,6 +24,7 @@ __all__ = [
     "check_component_labels",
     "check_connectivity_invariant",
     "check_degree_bound",
+    "check_degree_index",
     "check_forest_invariant",
     "check_healing_subset",
     "lemma10_degree_sum_delta",

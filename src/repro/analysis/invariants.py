@@ -20,6 +20,7 @@ __all__ = [
     "check_forest_invariant",
     "check_connectivity_invariant",
     "check_component_labels",
+    "check_degree_index",
     "check_degree_bound",
     "check_healing_subset",
     "lemma10_degree_sum_delta",
@@ -57,6 +58,27 @@ def check_component_labels(network: SelfHealingNetwork) -> None:
     except SimulationError as exc:
         raise InvariantViolation(
             f"component labels disagree with G' ground truth: {exc}"
+        ) from exc
+
+
+def check_degree_index(network: SelfHealingNetwork) -> None:
+    """The degree-bucket and δ-bucket indexes agree with fresh scans.
+
+    The targeted adversaries pick victims through
+    :meth:`~repro.graph.graph.Graph.max_degree_node` /
+    :meth:`~repro.graph.graph.Graph.min_degree_node` /
+    :meth:`~repro.core.network.SelfHealingNetwork.max_delta_node` instead
+    of scanning every node, so the incremental bucket indexes behind
+    those queries must track :meth:`~repro.graph.graph.Graph.degrees`
+    and :meth:`~repro.core.network.SelfHealingNetwork.deltas` exactly —
+    including cursors and smallest-label tie-breaks. O(n) per call.
+    """
+    try:
+        network.graph.check_degree_index()
+        network.check_delta_index()
+    except SimulationError as exc:
+        raise InvariantViolation(
+            f"bucket index disagrees with fresh degree/δ scan: {exc}"
         ) from exc
 
 

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from functools import cached_property
 from typing import ClassVar, Hashable, Mapping
 
 from repro.core.components import NodeId
@@ -62,14 +61,23 @@ class NeighborhoodSnapshot:
     #: current G-degree of each G-neighbor (before this round)
     degree: Mapping[Node, int]
 
-    @cached_property
+    # Memoized via self.__dict__ rather than functools.cached_property:
+    # the snapshot sits on the per-round hot path and cached_property's
+    # shared RLock (Python ≤3.11) costs more than the memoized work.
+    @property
     def _sort_keys(self) -> dict[Node, tuple[int, NodeId]]:
         """Per-neighbor ``(δ, initial ID)`` layout keys, computed once per
         snapshot — healers sort (and take minima/maxima) repeatedly, so
         the key tuples are cached instead of rebuilt per call."""
-        delta = self.delta
-        ids = self.initial_ids
-        return {u: (delta[u], ids[u]) for u in self.g_neighbors}
+        memo = self.__dict__
+        keys = memo.get("_sort_keys_memo")
+        if keys is None:
+            delta = self.delta
+            ids = self.initial_ids
+            keys = memo["_sort_keys_memo"] = {
+                u: (delta[u], ids[u]) for u in self.g_neighbors
+            }
+        return keys
 
     def unique_neighbors(self) -> list[Node]:
         """``UN(v, G)``: one representative per foreign component.
@@ -96,11 +104,17 @@ class NeighborhoodSnapshot:
                 classes[lbl] = u
         return [classes[lbl] for lbl in sorted(classes)]
 
-    @cached_property
+    @property
     def _participants(self) -> tuple[Node, ...]:
-        un = self.unique_neighbors()
-        gp = sorted(self.gprime_neighbors, key=lambda u: self.initial_ids[u])
-        return tuple(un + gp)
+        memo = self.__dict__
+        p = memo.get("_participants_memo")
+        if p is None:
+            un = self.unique_neighbors()
+            gp = sorted(
+                self.gprime_neighbors, key=lambda u: self.initial_ids[u]
+            )
+            p = memo["_participants_memo"] = tuple(un + gp)
+        return p
 
     def participants(self) -> list[Node]:
         """``UN(v,G) ∪ N(v,G′)``: the node set DASH-family healers rewire.

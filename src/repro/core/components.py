@@ -163,6 +163,25 @@ class ComponentTracker:
             raise SimulationError(f"node {node!r} is not tracked")
         return self._root_label[root]
 
+    def labels_of(self, nodes: Iterable[Node]) -> dict[Node, NodeId]:
+        """Bulk :meth:`label_of` — one dict build, skipping per-call
+        dispatch on the snapshot hot path (every round labels the whole
+        deleted neighborhood)."""
+        find = self._find
+        root_label = self._root_label
+        root_members = self._root_members
+        out: dict[Node, NodeId] = {}
+        for u in nodes:
+            try:
+                root = find(u)
+                members = root_members[root]
+            except KeyError:
+                raise SimulationError(f"node {u!r} is not tracked") from None
+            if u not in members:
+                raise SimulationError(f"node {u!r} is not tracked")
+            out[u] = root_label[root]
+        return out
+
     def component_members(self, node: Node) -> frozenset[Node]:
         """All nodes sharing ``node``'s component label (i.e. its G′ component)."""
         try:

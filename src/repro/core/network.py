@@ -12,9 +12,13 @@ drives one *round* per adversarial deletion:
    deleted node) and apply the edges to both G and G′;
 5. run the component tracker's MINID propagation and cost accounting.
 
-The network also maintains the running maximum degree increase
-(Figure 8's statistic) incrementally: only the deleted node's neighbors
-can change degree in a round, so the update is O(|neighborhood|).
+The network also maintains a **δ-bucket index** (degree increase relative
+to initial degree, bucketed like the graph's own degree index) fed by the
+graph's mutation stream via :attr:`~repro.graph.graph.Graph.degree_listener`.
+That makes :meth:`SelfHealingNetwork.max_delta` and
+:meth:`SelfHealingNetwork.max_delta_node` O(1)-ish indexed queries — the
+running maximum degree increase (Figure 8's statistic) is one index probe
+per round, and the δ-seeking adversary needs no node scan.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from typing import Hashable, Iterable
 from repro.core.base import Healer, NeighborhoodSnapshot, ReconnectionPlan
 from repro.core.components import ComponentTracker, NodeId, make_node_ids
 from repro.errors import HealingError, NodeNotFoundError, SimulationError
+from repro.graph.degree_index import DegreeIndex
 from repro.graph.forest import is_forest
 from repro.graph.graph import Graph
 from repro.graph.validation import validate_graph
@@ -85,8 +90,21 @@ class SelfHealingNetwork:
         self.check_invariants = check_invariants
         self.initial_n = graph.num_nodes
         self.initial_degree: dict[Node, int] = graph.degrees()
+        # δ-bucket index: every node starts at δ = 0 by definition; kept
+        # current by tapping the graph's degree-mutation stream below.
+        self._delta_index = DegreeIndex(self._delta_of)
+        for u in self.initial_degree:
+            self._delta_index.push(u, 0)
+        if graph.degree_listener is not None:
+            raise SimulationError(
+                "graph already has a degree listener — it is owned by "
+                "another network; pass graph.copy() instead"
+            )
+        graph.degree_listener = self._on_degree_change
         rng = make_rng(seed)
         self.initial_ids: dict[Node, NodeId] = make_node_ids(graph.nodes(), rng)
+        # G′ never pays degree-index bookkeeping: nothing queries its
+        # degree extremes, so its lazy index is simply never built.
         self.healing_graph = Graph(graph.nodes())
         self.tracker = ComponentTracker(
             graph=self.graph,
@@ -101,6 +119,27 @@ class SelfHealingNetwork:
     # ------------------------------------------------------------------
     # Per-node state
     # ------------------------------------------------------------------
+    def _delta_of(self, node: Node) -> int | None:
+        """The δ-index's ground-truth oracle (None once deleted)."""
+        d = self.graph.degree_of(node)
+        return None if d is None else d - self.initial_degree[node]
+
+    def _on_degree_change(
+        self, node: Node, old: int | None, new: int | None
+    ) -> None:
+        """Graph mutation-stream tap: mirror each degree change into the
+        δ-bucket index (removals need no work — stale entries
+        self-invalidate against :meth:`_delta_of`). A node added after
+        Init (never done by the healing model itself, but allowed by the
+        graph API) gets its first-seen degree as baseline, so its δ
+        starts at 0."""
+        if new is None:
+            return
+        base = self.initial_degree.get(node)
+        if base is None:
+            base = self.initial_degree[node] = new
+        self._delta_index.push(node, new - base)
+
     def delta(self, node: Node) -> int:
         """Degree increase of ``node`` relative to its initial degree."""
         if not self.graph.has_node(node):
@@ -115,9 +154,21 @@ class SelfHealingNetwork:
         }
 
     def max_delta(self) -> int:
-        """Maximum δ among *surviving* nodes (0 for an empty graph)."""
-        vals = self.deltas().values()
-        return max(vals, default=0)
+        """Maximum δ among *surviving* nodes (0 for an empty graph). O(1)."""
+        return self._delta_index.max_key(default=0)
+
+    def max_delta_node(self) -> Node | None:
+        """The surviving node with the largest δ, smallest label on ties;
+        ``None`` for an empty graph. Indexed — no node scan (the
+        δ-seeking adversary's per-round query)."""
+        return self._delta_index.top_node()
+
+    def check_delta_index(self) -> None:
+        """Verify the δ-bucket index against a fresh :meth:`deltas` scan.
+
+        O(n); raises :class:`~repro.errors.SimulationError` on mismatch.
+        """
+        self._delta_index.check(self.deltas())
 
     def label_of(self, node: Node) -> NodeId:
         return self.tracker.label_of(node)
@@ -141,14 +192,16 @@ class SelfHealingNetwork:
         degrees (the single source of the snapshot field semantics — both
         the live-deletion path and the pre-deletion inspection path build
         through here)."""
+        initial_degree = self.initial_degree
+        initial_ids = self.initial_ids
         return NeighborhoodSnapshot(
             deleted=deleted,
             deleted_label=deleted_label,
             g_neighbors=g_nbrs,
             gprime_neighbors=gp_nbrs,
-            labels={u: self.tracker.label_of(u) for u in g_nbrs},
-            initial_ids={u: self.initial_ids[u] for u in g_nbrs},
-            delta={u: degree[u] - self.initial_degree[u] for u in g_nbrs},
+            labels=self.tracker.labels_of(g_nbrs),
+            initial_ids={u: initial_ids[u] for u in g_nbrs},
+            delta={u: d - initial_degree[u] for u, d in degree.items()},
             degree=degree,
         )
 
@@ -167,7 +220,7 @@ class SelfHealingNetwork:
             self.tracker.label_of(node),
             g_nbrs,
             gp_nbrs,
-            {u: self.graph.degree(u) for u in g_nbrs},
+            self.graph.degrees_of(g_nbrs),
         )
 
     def _validate_plan(
@@ -220,7 +273,7 @@ class SelfHealingNetwork:
             deleted_label,
             g_nbrs,
             gp_nbrs,
-            {u: self.graph.degree(u) + 1 for u in g_nbrs},
+            self.graph.degrees_of(g_nbrs, offset=1),
         )
 
         # Healing: the neighbors react.
@@ -242,11 +295,13 @@ class SelfHealingNetwork:
             plan_edges=plan.edges,
         )
 
-        # Running max degree increase: only the old neighborhood changed.
-        for u in snapshot.g_neighbors:
-            d = self.graph.degree(u) - self.initial_degree[u]
-            if d > self.peak_delta:
-                self.peak_delta = d
+        # Running max degree increase: one O(1) probe of the δ-bucket
+        # index. δ only moves at degree mutations, all of which pass
+        # through the index, so sampling the current maximum once per
+        # round observes every peak the old per-neighbor scan did.
+        d = self._delta_index.max_key(default=0)
+        if d > self.peak_delta:
+            self.peak_delta = d
 
         event = HealEvent(
             step=len(self.deleted_nodes),
@@ -361,7 +416,7 @@ class SelfHealingNetwork:
                 min(dead_labels),
                 kept,
                 gp_nbrs,
-                {u: self.graph.degree(u) for u in kept},
+                self.graph.degrees_of(kept),
             )
 
             plan = self.healer.plan(snapshot)
@@ -377,11 +432,9 @@ class SelfHealingNetwork:
                 participants=tuple(plan.participants),
                 plan_edges=plan.edges,
             )
-            for u in g_nbrs:
-                if self.graph.has_node(u):
-                    d = self.graph.degree(u) - self.initial_degree[u]
-                    if d > self.peak_delta:
-                        self.peak_delta = d
+            d = self._delta_index.max_key(default=0)
+            if d > self.peak_delta:
+                self.peak_delta = d
             event = HealEvent(
                 step=len(self.deleted_nodes),
                 deleted=super_node,
@@ -402,6 +455,8 @@ class SelfHealingNetwork:
             validate_graph(self.graph)
             validate_graph(self.healing_graph)
             self.tracker.check_consistency()
+            self.graph.check_degree_index()
+            self.check_delta_index()
         return events
 
     # ------------------------------------------------------------------
@@ -411,6 +466,8 @@ class SelfHealingNetwork:
         validate_graph(self.graph)
         validate_graph(self.healing_graph)
         self.tracker.check_consistency()
+        self.graph.check_degree_index()
+        self.check_delta_index()
         if plan.component_safe and not is_forest(self.healing_graph):
             raise SimulationError(
                 "Lemma 1 violated: healing graph has a cycle under a "

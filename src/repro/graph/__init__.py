@@ -1,6 +1,7 @@
 """Graph substrate: dynamic simple graphs, traversal, distances, generators."""
 
 from repro.graph.graph import Graph
+from repro.graph.degree_index import DegreeIndex
 from repro.graph.traversal import (
     bfs_distances,
     bfs_order,
@@ -38,6 +39,7 @@ from repro.graph.validation import validate_graph
 
 __all__ = [
     "Graph",
+    "DegreeIndex",
     "bfs_distances",
     "bfs_order",
     "bfs_parents",

@@ -6,7 +6,10 @@ their (spec, size, healer, repetition) tuple, so we shard them over a
 "independent tasks + explicit task descriptors, no shared state" MPI
 idiom. Determinism is preserved because every cell derives its own seeds
 from the spec (see :mod:`repro.sim.experiment`); results are returned in
-task order regardless of completion order.
+task order regardless of completion order. The progress ticker advances
+on every *completed* future (``as_completed``), not on in-order result
+consumption, so it moves smoothly instead of jumping in chunk-sized
+bursts when slow cells head the queue.
 
 ``jobs=None`` or ``jobs<=1`` runs serially in-process, which is also the
 fallback when the platform cannot fork (the worker function and specs are
@@ -17,7 +20,7 @@ from __future__ import annotations
 
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Sequence
 
 from repro.sim.experiment import run_task
@@ -72,9 +75,10 @@ def run_tasks(
         return outputs
 
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        done = 0
-        for out in pool.map(_run_cell, tasks, chunksize=max(1, total // (jobs * 4))):
-            outputs.append(out)
-            done += 1
+        futures = [pool.submit(_run_cell, task) for task in tasks]
+        for done, _ in enumerate(as_completed(futures), 1):
             tick(done)
+        # Collect in task order (completion order only drove the ticker);
+        # .result() re-raises the first worker exception, if any.
+        outputs = [f.result() for f in futures]
     return outputs

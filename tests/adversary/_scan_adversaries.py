@@ -1,0 +1,125 @@
+"""The pre-index targeted adversaries, preserved verbatim.
+
+These are the full-node-scan implementations of the four targeted attack
+strategies exactly as they stood before the degree-bucket/δ-bucket index
+rewrite (same pattern as ``tests/core/_seed_tracker.py`` for the
+component tracker). They are the ground truth the differential tests in
+``test_adversary_differential.py`` replay entire campaigns against: the
+indexed versions in :mod:`repro.adversary.classic` must produce
+byte-identical target sequences — including ``(key, label)`` tie-breaks
+and rng consumption — on every topology and healer combination.
+
+Do not "improve" this file; its whole value is that it does not change.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, ClassVar, Hashable
+
+from repro.adversary.base import Adversary
+from repro.utils.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import SelfHealingNetwork
+
+__all__ = [
+    "ScanMaxNodeAttack",
+    "ScanNeighborOfMaxAttack",
+    "ScanMinDegreeAttack",
+    "ScanMaxDeltaNeighborAttack",
+]
+
+Node = Hashable
+
+
+def _max_degree_node(network: "SelfHealingNetwork") -> Node | None:
+    """Current maximum-degree node, smallest label on ties; None if empty."""
+    g = network.graph
+    best: Node | None = None
+    best_key: tuple[int, object] | None = None
+    for u in g.nodes():
+        key = (-g.degree(u), u)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = u
+    return best
+
+
+class ScanMaxNodeAttack(Adversary):
+    """Delete the current maximum-degree node (O(n) scan per round)."""
+
+    name: ClassVar[str] = "scan-max-node"
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        return _max_degree_node(network)
+
+
+class ScanNeighborOfMaxAttack(Adversary):
+    """Delete a random neighbor of the max-degree node (O(n) scan)."""
+
+    name: ClassVar[str] = "scan-neighbor-of-max"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng: random.Random = make_rng(seed)
+
+    def reset(self, network: "SelfHealingNetwork") -> None:
+        super().reset(network)
+        self._rng = make_rng(self._seed)
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        hub = _max_degree_node(network)
+        if hub is None:
+            return None
+        nbrs = sorted(network.graph.neighbors(hub))
+        if not nbrs:
+            return hub
+        return self._rng.choice(nbrs)
+
+
+class ScanMinDegreeAttack(Adversary):
+    """Delete the current minimum-degree node (O(n) scan per round)."""
+
+    name: ClassVar[str] = "scan-min-degree"
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        g = network.graph
+        best: Node | None = None
+        best_key: tuple[int, object] | None = None
+        for u in g.nodes():
+            key = (g.degree(u), u)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = u
+        return best
+
+
+class ScanMaxDeltaNeighborAttack(Adversary):
+    """Delete a random neighbor of the max-δ node (O(n) scan per round)."""
+
+    name: ClassVar[str] = "scan-neighbor-of-max-delta"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng: random.Random = make_rng(seed)
+
+    def reset(self, network: "SelfHealingNetwork") -> None:
+        super().reset(network)
+        self._rng = make_rng(self._seed)
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        g = network.graph
+        best: Node | None = None
+        best_key: tuple[int, object] | None = None
+        for u in g.nodes():
+            key = (-network.delta(u), u)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = u
+        if best is None:
+            return None
+        nbrs = sorted(g.neighbors(best))
+        if not nbrs:
+            return best
+        return self._rng.choice(nbrs)

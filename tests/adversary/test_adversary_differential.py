@@ -1,0 +1,237 @@
+"""Differential tests: indexed adversaries vs. the seed scan versions.
+
+The four targeted adversaries were rewritten from per-round O(n) node
+scans to O(1)-ish queries against the graph's degree-bucket index and
+the network's δ-bucket index (plus an incrementally maintained sorted
+neighbor list for the sampling attacks). The attack campaigns must not
+move by a single victim: these tests replay identical fixed-seed
+full-kill campaigns through the indexed adversaries and through the
+pre-rewrite implementations (preserved verbatim in
+``_scan_adversaries.py``) and assert byte-identical target sequences,
+per-round :class:`~repro.core.network.HealEvent` accounting, and final
+topology — across multiple topology families and healers, including
+tie-break-heavy degree plateaus.
+
+The indexed runs additionally verify the
+:func:`repro.analysis.check_degree_index` invariant (bucket indexes vs a
+fresh ``degrees()``/``deltas()`` scan) after every single round, via a
+per-event metric hook.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.classic import (
+    MaxDeltaNeighborAttack,
+    MaxNodeAttack,
+    MinDegreeAttack,
+    NeighborOfMaxAttack,
+)
+from repro.analysis import check_degree_index
+from repro.core.network import SelfHealingNetwork
+from repro.core.registry import HEALERS
+from repro.graph.generators import (
+    cycle_graph,
+    erdos_renyi,
+    preferential_attachment,
+    random_tree,
+    watts_strogatz,
+)
+from repro.sim.metrics import Metric
+from repro.sim.simulator import run_simulation
+
+from tests.adversary._scan_adversaries import (
+    ScanMaxDeltaNeighborAttack,
+    ScanMaxNodeAttack,
+    ScanMinDegreeAttack,
+    ScanNeighborOfMaxAttack,
+)
+
+EVENT_FIELDS = (
+    "deleted",
+    "plan_kind",
+    "participants",
+    "new_edges",
+    "edges_added_to_g",
+    "id_changes",
+    "messages_sent",
+    "components_merged",
+    "components_after",
+    "split",
+)
+
+#: (pytest id, indexed adversary factory, preserved scan factory)
+ADVERSARY_PAIRS = [
+    ("max-node", lambda: MaxNodeAttack(), lambda: ScanMaxNodeAttack()),
+    (
+        "neighbor-of-max",
+        lambda: NeighborOfMaxAttack(seed=5),
+        lambda: ScanNeighborOfMaxAttack(seed=5),
+    ),
+    ("min-degree", lambda: MinDegreeAttack(), lambda: ScanMinDegreeAttack()),
+    (
+        "neighbor-of-max-delta",
+        lambda: MaxDeltaNeighborAttack(seed=5),
+        lambda: ScanMaxDeltaNeighborAttack(seed=5),
+    ),
+]
+
+#: topology families (≥3 per the acceptance criteria; the cycle is the
+#: all-ties plateau — every node has degree 2, so every single round is
+#: decided purely by the tie-break)
+TOPOLOGIES = [
+    ("pa", lambda: preferential_attachment(80, 2, seed=3)),
+    ("er", lambda: erdos_renyi(60, 0.1, seed=4)),
+    ("ws", lambda: watts_strogatz(64, 4, 0.2, seed=5)),
+    ("tree", lambda: random_tree(50, seed=6)),
+    ("cycle", lambda: cycle_graph(40)),
+]
+
+
+class _CheckIndexMetric(Metric):
+    """Verifies the degree/δ bucket indexes after every heal round."""
+
+    def on_event(self, network, event) -> None:
+        check_degree_index(network)
+
+    def finalize(self, network) -> dict[str, float]:
+        return {}
+
+
+def assert_same_campaign(indexed_run, scan_run) -> None:
+    """Byte-identical victims, accounting, and final topology."""
+    new_net: SelfHealingNetwork = indexed_run.network
+    seed_net: SelfHealingNetwork = scan_run.network
+    diverged = [
+        i
+        for i, (a, b) in enumerate(
+            zip(new_net.deleted_nodes, seed_net.deleted_nodes)
+        )
+        if a != b
+    ]
+    assert new_net.deleted_nodes == seed_net.deleted_nodes, (
+        f"target sequences diverged (first differing round: "
+        f"{diverged[0] if diverged else 'length mismatch'})"
+    )
+    assert len(new_net.events) == len(seed_net.events)
+    for ev_new, ev_seed in zip(new_net.events, seed_net.events):
+        for f in EVENT_FIELDS:
+            assert getattr(ev_new, f) == getattr(ev_seed, f), (
+                f"round {ev_new.step}: {f} diverged "
+                f"({getattr(ev_new, f)!r} != {getattr(ev_seed, f)!r})"
+            )
+    assert new_net.graph == seed_net.graph
+    assert new_net.healing_graph == seed_net.healing_graph
+    assert new_net.peak_delta == seed_net.peak_delta
+    assert indexed_run.deletions == scan_run.deletions
+    assert indexed_run.final_alive == scan_run.final_alive
+
+
+@pytest.mark.parametrize(
+    "adv_name,make_indexed,make_scan",
+    ADVERSARY_PAIRS,
+    ids=[p[0] for p in ADVERSARY_PAIRS],
+)
+@pytest.mark.parametrize(
+    "topo_name,make_graph", TOPOLOGIES, ids=[t[0] for t in TOPOLOGIES]
+)
+def test_full_kill_campaign_matches_scan(
+    adv_name, make_indexed, make_scan, topo_name, make_graph
+):
+    """Full-kill campaigns under DASH: every victim identical, with the
+    degree/δ indexes scan-verified after every round."""
+    indexed_run = run_simulation(
+        make_graph(),
+        HEALERS["dash"](),
+        make_indexed(),
+        id_seed=7,
+        metrics=[_CheckIndexMetric()],
+        keep_events=True,
+        keep_network=True,
+    )
+    scan_run = run_simulation(
+        make_graph(),
+        HEALERS["dash"](),
+        make_scan(),
+        id_seed=7,
+        keep_events=True,
+        keep_network=True,
+    )
+    assert indexed_run.final_alive == 0
+    assert_same_campaign(indexed_run, scan_run)
+
+
+@pytest.mark.parametrize(
+    "adv_name,make_indexed,make_scan",
+    ADVERSARY_PAIRS,
+    ids=[p[0] for p in ADVERSARY_PAIRS],
+)
+@pytest.mark.parametrize("healer_name", ["sdash", "graph-heal"])
+def test_other_healers_match_scan(adv_name, make_indexed, make_scan, healer_name):
+    """The equivalence is healer-independent (including the
+    non-component-safe GraphHeal, whose heals reshape degrees freely)."""
+    indexed_run = run_simulation(
+        preferential_attachment(60, 2, seed=9),
+        HEALERS[healer_name](),
+        make_indexed(),
+        id_seed=9,
+        metrics=[_CheckIndexMetric()],
+        keep_events=True,
+        keep_network=True,
+    )
+    scan_run = run_simulation(
+        preferential_attachment(60, 2, seed=9),
+        HEALERS[healer_name](),
+        make_scan(),
+        id_seed=9,
+        keep_events=True,
+        keep_network=True,
+    )
+    assert_same_campaign(indexed_run, scan_run)
+
+
+@pytest.mark.parametrize(
+    "adv_name,make_indexed,make_scan",
+    ADVERSARY_PAIRS,
+    ids=[p[0] for p in ADVERSARY_PAIRS],
+)
+def test_interleaved_batch_waves_match_scan(adv_name, make_indexed, make_scan):
+    """Adversary rounds interleaved with simultaneous batch waves.
+
+    Batch deletions mutate the graph behind the adversary's back (no
+    per-victim choose/heal cycle), which is exactly what the sampling
+    attacks' incremental neighbor caches must detect and resync from —
+    and the indexes must stay exact through ``delete_batch_and_heal``'s
+    mass-removal path.
+    """
+
+    def campaign(make_adv):
+        net = SelfHealingNetwork(
+            preferential_attachment(64, 2, seed=11), HEALERS["dash"](), seed=11
+        )
+        adv = make_adv()
+        adv.reset(net)
+        rng = random.Random(11)
+        victims = []
+        while net.num_alive > 4:
+            if rng.random() < 0.3:
+                alive = sorted(net.graph.nodes())
+                wave = rng.sample(alive, min(len(alive) - 1, rng.randint(2, 4)))
+                net.delete_batch_and_heal(wave)
+                victims.append(("wave", tuple(sorted(wave, key=repr))))
+            else:
+                target = adv.choose_target(net)
+                assert target is not None
+                net.delete_and_heal(target)
+                victims.append(("single", target))
+            check_degree_index(net)
+        return net, victims
+
+    new_net, new_victims = campaign(make_indexed)
+    seed_net, seed_victims = campaign(make_scan)
+    assert new_victims == seed_victims
+    assert new_net.graph == seed_net.graph
+    assert new_net.peak_delta == seed_net.peak_delta

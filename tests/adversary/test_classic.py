@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.adversary.classic import (
@@ -13,7 +15,7 @@ from repro.adversary.classic import (
 )
 from repro.core.dash import Dash
 from repro.core.network import SelfHealingNetwork
-from repro.graph.generators import path_graph, star_graph
+from repro.graph.generators import cycle_graph, path_graph, star_graph
 from repro.graph.graph import Graph
 
 
@@ -100,6 +102,99 @@ class TestMinDegree:
         adv = MinDegreeAttack()
         adv.reset(net)
         assert adv.choose_target(net) == 1  # smallest-label leaf
+
+
+ALL_ADVERSARIES = [
+    lambda: MaxNodeAttack(),
+    lambda: NeighborOfMaxAttack(seed=1),
+    lambda: MinDegreeAttack(),
+    lambda: MaxDeltaNeighborAttack(seed=1),
+    lambda: RandomAttack(seed=1),
+]
+
+
+class TestEdgeCases:
+    """Empty graphs, lone nodes, and degree plateaus — the regimes where
+    the indexed queries' cursors and tie-breaks have no slack."""
+
+    @pytest.mark.parametrize("make_adv", ALL_ADVERSARIES)
+    def test_empty_graph_returns_none(self, make_adv):
+        net = net_of(Graph())
+        adv = make_adv()
+        adv.reset(net)
+        assert adv.choose_target(net) is None
+
+    @pytest.mark.parametrize("make_adv", ALL_ADVERSARIES)
+    def test_single_isolated_node_is_the_target(self, make_adv):
+        net = net_of(Graph([42]))
+        adv = make_adv()
+        adv.reset(net)
+        assert adv.choose_target(net) == 42
+
+    @pytest.mark.parametrize("make_adv", ALL_ADVERSARIES)
+    def test_exhaustion_after_last_node(self, make_adv):
+        net = net_of(Graph([7]))
+        adv = make_adv()
+        adv.reset(net)
+        net.delete_and_heal(adv.choose_target(net))
+        assert adv.choose_target(net) is None
+
+    def test_all_ties_plateau_max_and_min_agree(self):
+        # Cycle: every node has degree 2, so max-node and min-degree are
+        # decided purely by the smallest-label tie-break.
+        net = net_of(cycle_graph(12))
+        for adv in (MaxNodeAttack(), MinDegreeAttack()):
+            adv.reset(net)
+            assert adv.choose_target(net) == 0
+
+    def test_all_ties_plateau_delta(self):
+        # Fresh network: every δ is 0 — the max-δ node is the smallest
+        # label (0), and the target one of its two ring neighbors.
+        net = net_of(cycle_graph(12))
+        adv = MaxDeltaNeighborAttack(seed=3)
+        adv.reset(net)
+        assert adv.choose_target(net) in {1, 11}
+
+    def test_plateau_shrinks_consistently(self):
+        # Deleting along a path keeps re-creating ties between the two
+        # endpoints (degree 1); the smaller label must win every time.
+        net = net_of(path_graph(6))
+        adv = MinDegreeAttack()
+        adv.reset(net)
+        first = adv.choose_target(net)
+        assert first == 0
+        net.delete_and_heal(first)
+        assert adv.choose_target(net) == 1
+
+
+class TestRandomResync:
+    def test_resync_after_batch_heal(self):
+        """Batch waves delete nodes behind the adversary's back; the
+        survivor list must resync instead of naming dead nodes."""
+        net = net_of(star_graph(12))
+        adv = RandomAttack(seed=4)
+        adv.reset(net)
+        v = adv.choose_target(net)
+        net.delete_and_heal(v)
+        rng = random.Random(4)
+        while net.num_alive > 2:
+            alive = sorted(net.graph.nodes())
+            wave = rng.sample(alive, min(len(alive) - 1, 3))
+            net.delete_batch_and_heal(wave)
+            target = adv.choose_target(net)
+            assert target is not None
+            assert net.graph.has_node(target)
+
+    def test_resync_then_normal_rounds_stay_live(self):
+        net = net_of(path_graph(10))
+        adv = RandomAttack(seed=9)
+        adv.reset(net)
+        net.delete_batch_and_heal([2, 5, 7])
+        while net.num_alive > 0:
+            target = adv.choose_target(net)
+            assert net.graph.has_node(target)
+            net.delete_and_heal(target)
+        assert adv.choose_target(net) is None
 
 
 class TestMaxDeltaNeighbor:

@@ -10,6 +10,7 @@ from repro.analysis.invariants import (
     check_component_labels,
     check_connectivity_invariant,
     check_degree_bound,
+    check_degree_index,
     check_forest_invariant,
     check_healing_subset,
     lemma10_degree_sum_delta,
@@ -35,8 +36,22 @@ class TestCheckers:
         check_forest_invariant(net)
         check_connectivity_invariant(net)
         check_component_labels(net)
+        check_degree_index(net)
         check_degree_bound(net)
         check_healing_subset(net)
+
+    def test_degree_index_violation_detected(self):
+        g = preferential_attachment(20, 2, seed=6)
+        net = SelfHealingNetwork(g, Dash(), seed=6)
+        net.delete_and_heal(next(iter(net.graph.nodes())))
+        check_degree_index(net)
+        # Wipe the δ-index's bucket storage: every live node is now
+        # missing from the index, which the scan comparison must flag
+        # unconditionally (no dependence on any node's δ history).
+        net._delta_index._heaps.clear()
+        net._delta_index._staged.clear()
+        with pytest.raises(InvariantViolation):
+            check_degree_index(net)
 
     def test_forest_violation_detected(self):
         g = preferential_attachment(30, 3, seed=2)

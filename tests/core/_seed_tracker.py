@@ -123,6 +123,14 @@ class ComponentTracker:
     def label_of(self, node: Node) -> NodeId:
         return self.label[node]
 
+    def labels_of(self, nodes) -> dict[Node, NodeId]:
+        # Interface shim (NOT part of the preserved seed behavior): the
+        # network's snapshot builder moved to a bulk label query; this
+        # delegates to the seed ``label`` map so differential replays
+        # keep working. Accounting is untouched.
+        label = self.label
+        return {u: label[u] for u in nodes}
+
     def component_members(self, node: Node) -> frozenset[Node]:
         """All nodes sharing ``node``'s component label (i.e. its G′ component)."""
         return frozenset(self.members[self.label[node]])
