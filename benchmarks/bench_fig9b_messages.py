@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 
-from benchmarks.bench_fig9a_id_changes import REPS, SIZES, run_fig9_cached
+from benchmarks.bench_fig9a_id_changes import run_fig9_cached
 from benchmarks.conftest import emit
 
 from repro.graph.generators import preferential_attachment

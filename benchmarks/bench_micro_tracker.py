@@ -90,29 +90,53 @@ def test_heal_round_cost(bench_recorder):
 
 
 def test_campaign_dash_pa4000(bench_recorder):
-    """Acceptance workload: full-kill DASH on PA n=4000 (m=3).
-
-    The pre-rewrite seed measured ~2.1s here and the union-find core
-    ~0.2s (>10×). The assert only guards against regressing back to
-    seed-level cost — shared CI runners are too noisy for a hard 5×
-    wall-time bound — while the committed BENCH_core.json carries the
-    real trajectory.
+    """Acceptance workload: full-kill DASH on PA n=4000 (m=3), measured
+    **like-for-like against the preserved seed tracker** (the verbatim
+    pre-rewrite implementation in ``tests/core/_seed_tracker.py``,
+    swapped in exactly as the differential tests do) interleaved in the
+    same process — so the recorded speedup is a real ratio, robust to
+    shared-runner load. Measured ~8× at n=4k; the assert (and the CI
+    perf gate reading the recorded ``speedup_vs_seed_tracker``) demands
+    ≥2×, generous slack that still catches any slide back toward the
+    O(component-size) seed.
     """
-    seconds, rounds = _measure("dash", 4_000, None)
+    import repro.core.network as network_module
+
+    from tests.core._seed_tracker import ComponentTracker as SeedTracker
+
+    union_find_tracker = network_module.ComponentTracker
+
+    def run() -> float:
+        seconds, rounds = _measure("dash", 4_000, None)
+        assert rounds == 4_000
+        return seconds
+
+    indexed = seed = float("inf")
+    try:
+        for _ in range(2):  # interleaved: both sides see the same conditions
+            network_module.ComponentTracker = SeedTracker
+            seed = min(seed, run())
+            network_module.ComponentTracker = union_find_tracker
+            indexed = min(indexed, run())
+    finally:
+        network_module.ComponentTracker = union_find_tracker
+    speedup = seed / indexed
     bench_recorder.record(
         "campaign_dash_pa4000_m3",
-        seconds=seconds,
-        rounds=rounds,
+        seconds=indexed,
+        rounds=4_000,
         healer="dash",
         n=4_000,
         topology="preferential-attachment-m3",
         adversary="random",
+        seed_tracker_seconds=round(seed, 6),
+        speedup_vs_seed_tracker=round(speedup, 2),
         seed_baseline_seconds=2.1,
     )
-    assert rounds == 4_000
-    assert seconds < 2.1, (
-        f"n=4000 campaign took {seconds:.2f}s — as slow as the O(size) "
-        "pre-rewrite seed; the union-find fast path has regressed"
+    assert speedup > 2.0, (
+        f"n=4000 campaign only {speedup:.2f}x over the preserved seed "
+        "tracker (measured ~8x at rewrite time) — the union-find fast "
+        "path has regressed toward O(component size)"
     )
 
 

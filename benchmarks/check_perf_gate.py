@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over ``results/BENCH_core.json``.
+
+The quick benchmarks record *like-for-like* speedups — both sides of
+each ratio measured interleaved in the same process, so they are robust
+to shared-runner load in a way raw wall-clock floors are not. This
+script re-checks every recorded ratio against its floor after the quick
+bench job and fails the build if any hard-won speedup has slid back:
+
+* tracker (PR 1): interleaved full-kill DASH campaign vs the preserved
+  seed tracker — ≥ 2×;
+* targeted attacks (PR 2): interleaved NMS campaign vs the preserved
+  scan adversary — ≥ 2.5×;
+* wave healing (PR 3): interleaved √n-wave campaign vs the preserved
+  traversal path — ≥ 2×.
+
+A missing workload is a failure too: the gate must never pass because a
+benchmark silently stopped recording.
+
+Usage: ``python benchmarks/check_perf_gate.py [path/to/BENCH_core.json]``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_core.json"
+
+#: (workload, how to compute the speedup from its entry, floor)
+GATES = [
+    (
+        "campaign_dash_pa4000_m3",
+        lambda e: e["speedup_vs_seed_tracker"],
+        2.0,
+        "union-find tracker vs preserved seed tracker (PR 1)",
+    ),
+    (
+        "campaign_nms_pa4000_m3",
+        lambda e: e["speedup_vs_scan"],
+        2.5,
+        "indexed NMS adversary vs preserved scan adversary (PR 2)",
+    ),
+    (
+        "campaign_wave_dash_pa4000_m3",
+        lambda e: e["speedup_vs_traversal"],
+        2.0,
+        "wave quotient fast path vs preserved traversal path (PR 3)",
+    ),
+]
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_JSON
+    try:
+        workloads = json.loads(path.read_text())["workloads"]
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"perf gate: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, speedup_of, floor, what in GATES:
+        entry = workloads.get(name)
+        if entry is None:
+            failures.append(f"{name}: workload missing from {path.name} ({what})")
+            continue
+        try:
+            speedup = speedup_of(entry)
+        except KeyError as exc:
+            failures.append(f"{name}: entry lacks {exc} ({what})")
+            continue
+        status = "ok" if speedup >= floor else "FAIL"
+        print(f"{status:4s} {name}: {speedup:.2f}x (floor {floor}x) — {what}")
+        if speedup < floor:
+            failures.append(
+                f"{name}: {speedup:.2f}x below the {floor}x floor ({what})"
+            )
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,7 +21,6 @@ from __future__ import annotations
 import math
 
 from repro import (
-    Dash,
     GraphHeal,
     MaxNodeAttack,
     NoHeal,

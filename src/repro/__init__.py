@@ -27,8 +27,12 @@ from repro.adversary import (
     MinDegreeAttack,
     NeighborOfMaxAttack,
     RandomAttack,
+    RandomWaveAttack,
     ScriptedAttack,
+    TargetedWaveAttack,
+    WaveAdversary,
     make_adversary,
+    make_wave_schedule,
 )
 from repro.core import (
     HEALERS,
@@ -69,6 +73,7 @@ from repro.sim import (
     default_metrics,
     run_experiment,
     run_simulation,
+    run_wave_simulation,
 )
 from repro.version import PAPER, __version__
 
@@ -81,8 +86,12 @@ __all__ = [
     "MinDegreeAttack",
     "NeighborOfMaxAttack",
     "RandomAttack",
+    "RandomWaveAttack",
     "ScriptedAttack",
+    "TargetedWaveAttack",
+    "WaveAdversary",
     "make_adversary",
+    "make_wave_schedule",
     "HEALERS",
     "PAPER_HEALERS",
     "BinaryTreeHeal",
@@ -117,6 +126,7 @@ __all__ = [
     "default_metrics",
     "run_experiment",
     "run_simulation",
+    "run_wave_simulation",
     "PAPER",
     "__version__",
 ]

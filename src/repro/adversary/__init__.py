@@ -12,6 +12,15 @@ from repro.adversary.classic import (
 )
 from repro.adversary.levelattack import LevelAttack, prune_order
 from repro.adversary.scripted import ScriptedAttack
+from repro.adversary.waves import (
+    RandomWaveAttack,
+    TargetedWaveAttack,
+    WaveAdversary,
+    constant_schedule,
+    fraction_schedule,
+    geometric_schedule,
+    make_wave_schedule,
+)
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -23,6 +32,13 @@ __all__ = [
     "MaxDeltaNeighborAttack",
     "LevelAttack",
     "ScriptedAttack",
+    "WaveAdversary",
+    "RandomWaveAttack",
+    "TargetedWaveAttack",
+    "constant_schedule",
+    "geometric_schedule",
+    "fraction_schedule",
+    "make_wave_schedule",
     "prune_order",
     "ADVERSARIES",
     "make_adversary",
@@ -37,6 +53,8 @@ ADVERSARIES: dict[str, Callable[..., Adversary]] = {
     MaxDeltaNeighborAttack.name: MaxDeltaNeighborAttack,
     LevelAttack.name: LevelAttack,
     ScriptedAttack.name: ScriptedAttack,
+    RandomWaveAttack.name: RandomWaveAttack,
+    TargetedWaveAttack.name: TargetedWaveAttack,
 }
 
 

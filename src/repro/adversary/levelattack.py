@@ -37,7 +37,6 @@ from typing import TYPE_CHECKING, ClassVar, Hashable, Iterator
 from repro.adversary.base import Adversary
 from repro.errors import AdversaryError
 from repro.graph.generators import kary_level, kary_parent
-from repro.graph.traversal import bfs_distances
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.network import SelfHealingNetwork

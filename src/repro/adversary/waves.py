@@ -1,0 +1,222 @@
+"""Wave adversaries: simultaneous multi-victim rounds (footnote 1).
+
+The paper's adversary deletes one node per time step; footnote 1 notes
+DASH "can easily handle the situation where any number of nodes are
+removed" at once. These strategies model that massive-failure regime
+(the regime Trehan's dissertation, arXiv:1305.4675, develops): instead
+of naming a single victim they name a *wave* — a set of nodes that die
+simultaneously and are healed by
+:meth:`~repro.core.network.SelfHealingNetwork.delete_batch_and_heal`.
+
+Wave sizes follow a pluggable **schedule**, a callable
+``(wave_index, survivors) -> size``:
+
+* ``constant_schedule(k)`` — every wave kills ``k`` nodes;
+* ``geometric_schedule(k0, ratio)`` — wave ``i`` kills ``k0 · ratioⁱ``
+  (rounded down, at least 1), the escalating-catastrophe scenario;
+* ``fraction_schedule(frac)`` — every wave kills ``⌈frac · survivors⌉``,
+  a constant *proportional* bite.
+
+Schedules are clamped to the surviving population, so every campaign
+terminates (a full kill ends with the last survivors in one wave).
+
+Determinism mirrors the single-victim adversaries: the random strategy
+takes an explicit seed and draws from a sorted survivor list maintained
+incrementally (removing the previous wave via bisection instead of
+re-sorting, with a resync guard for out-of-band churn); the targeted
+strategy is fully deterministic — the ``k`` highest-degree survivors,
+smallest label on ties, read from the graph's degree-bucket index by
+walking buckets downward from the O(1) maximum, so no round ever scans
+all nodes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Callable, ClassVar, Hashable, Sequence
+
+from repro.adversary.base import Adversary
+from repro.errors import ConfigurationError
+from repro.utils.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import SelfHealingNetwork
+
+__all__ = [
+    "WaveSchedule",
+    "constant_schedule",
+    "geometric_schedule",
+    "fraction_schedule",
+    "make_wave_schedule",
+    "WaveAdversary",
+    "RandomWaveAttack",
+    "TargetedWaveAttack",
+]
+
+Node = Hashable
+
+#: ``(wave_index, survivors) -> wave size`` (clamped to [1, survivors]
+#: by the driver; a schedule may return anything ≥ 0).
+WaveSchedule = Callable[[int, int], int]
+
+
+def constant_schedule(size: int) -> WaveSchedule:
+    """Every wave kills ``size`` nodes."""
+    if size < 1:
+        raise ConfigurationError(f"wave size must be >= 1, got {size}")
+    return lambda wave_index, survivors: size
+
+
+def geometric_schedule(initial: int, ratio: float = 2.0) -> WaveSchedule:
+    """Wave ``i`` kills ``⌊initial · ratioⁱ⌋`` nodes (at least 1)."""
+    if initial < 1:
+        raise ConfigurationError(f"initial wave size must be >= 1, got {initial}")
+    if ratio <= 0:
+        raise ConfigurationError(f"ratio must be > 0, got {ratio}")
+    return lambda wave_index, survivors: max(1, int(initial * ratio**wave_index))
+
+
+def fraction_schedule(fraction: float) -> WaveSchedule:
+    """Every wave kills ``⌈fraction · survivors⌉`` nodes (at least 1)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(
+            f"fraction must be in (0, 1], got {fraction}"
+        )
+    return lambda wave_index, survivors: max(
+        1, math.ceil(fraction * survivors)
+    )
+
+
+def make_wave_schedule(spec: object) -> WaveSchedule:
+    """Coerce a schedule spec to a :data:`WaveSchedule`.
+
+    Accepted specs: a callable (used as-is), an ``int`` (constant), a
+    ``float`` in (0, 1] (fraction of survivors), or a tuple
+    ``("constant", k)`` / ``("geometric", k0[, ratio])`` /
+    ``("fraction", f)``.
+    """
+    if callable(spec):
+        return spec  # type: ignore[return-value]
+    if isinstance(spec, bool):
+        raise ConfigurationError(f"not a wave schedule: {spec!r}")
+    if isinstance(spec, int):
+        return constant_schedule(spec)
+    if isinstance(spec, float):
+        return fraction_schedule(spec)
+    if isinstance(spec, Sequence) and spec and isinstance(spec[0], str):
+        kind, *args = spec
+        factories = {
+            "constant": constant_schedule,
+            "geometric": geometric_schedule,
+            "fraction": fraction_schedule,
+        }
+        if kind in factories:
+            return factories[kind](*args)
+    raise ConfigurationError(f"not a wave schedule: {spec!r}")
+
+
+class WaveAdversary(Adversary):
+    """A deletion strategy that names whole waves of simultaneous victims.
+
+    Subclasses implement :meth:`_pick`; the base class runs the schedule
+    (clamping to the surviving population) and counts waves. Wave
+    adversaries are driven by
+    :func:`~repro.sim.simulator.run_wave_simulation`, not the per-node
+    ``choose_target`` loop.
+    """
+
+    name: ClassVar[str] = "abstract-wave"
+
+    def __init__(self, schedule: object = 8) -> None:
+        self.schedule = make_wave_schedule(schedule)
+        self._wave_index = 0
+
+    def reset(self, network: "SelfHealingNetwork") -> None:
+        super().reset(network)
+        self._wave_index = 0
+
+    @property
+    def waves_launched(self) -> int:
+        return self._wave_index
+
+    def choose_wave(self, network: "SelfHealingNetwork") -> list[Node] | None:
+        """Name the next wave of victims, or ``None`` to stop attacking."""
+        survivors = network.num_alive
+        if survivors == 0:
+            return None
+        size = min(max(1, self.schedule(self._wave_index, survivors)), survivors)
+        wave = self._pick(network, size)
+        self._wave_index += 1
+        return wave
+
+    def _pick(self, network: "SelfHealingNetwork", size: int) -> list[Node]:
+        raise NotImplementedError
+
+
+class RandomWaveAttack(WaveAdversary):
+    """Kill a uniformly random set of survivors each wave (mass failure).
+
+    Like :class:`~repro.adversary.classic.RandomAttack`, the sorted
+    survivor list is maintained incrementally: the previous wave's
+    victims are bisected out in O(k log n) instead of re-sorting, with a
+    full resync whenever the list length disagrees with the live node
+    count (out-of-band churn). Draws are identical to sorting from
+    scratch every wave.
+    """
+
+    name: ClassVar[str] = "random-wave"
+
+    def __init__(self, schedule: object = 8, seed: int = 0) -> None:
+        super().__init__(schedule)
+        self._seed = seed
+        self._rng: random.Random = make_rng(seed)
+        self._alive: list[Node] | None = None
+        self._last_wave: list[Node] = []
+
+    def reset(self, network: "SelfHealingNetwork") -> None:
+        super().reset(network)
+        self._rng = make_rng(self._seed)
+        self._alive = sorted(network.graph.nodes())
+        self._last_wave = []
+
+    def _pick(self, network: "SelfHealingNetwork", size: int) -> list[Node]:
+        g = network.graph
+        alive = self._alive
+        if alive is not None:
+            for v in self._last_wave:
+                if not g.has_node(v):
+                    i = bisect_left(alive, v)
+                    if i < len(alive) and alive[i] == v:
+                        alive.pop(i)
+        if alive is None or len(alive) != g.num_nodes:
+            alive = self._alive = sorted(g.nodes())
+        self._last_wave = self._rng.sample(alive, size)
+        return list(self._last_wave)
+
+
+class TargetedWaveAttack(WaveAdversary):
+    """Kill the ``k`` highest-degree survivors each wave (decapitation).
+
+    The wave analogue of MaxNode: every wave removes the current top-k
+    hubs simultaneously — ties broken by smallest label, so campaigns
+    are fully deterministic. Victims are read from the graph's
+    degree-bucket index by walking buckets downward from the O(1)
+    maximum degree, so the per-wave cost is O(Δ_max + k log k), never a
+    full node scan.
+    """
+
+    name: ClassVar[str] = "targeted-wave"
+
+    def _pick(self, network: "SelfHealingNetwork", size: int) -> list[Node]:
+        g = network.graph
+        picked: list[Node] = []
+        degree = g.max_degree()
+        while len(picked) < size and degree >= 0:
+            bucket = g.degree_bucket(degree)
+            if bucket:
+                take = size - len(picked)
+                picked.extend(sorted(bucket)[:take])
+            degree -= 1
+        return picked

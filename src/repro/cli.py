@@ -26,11 +26,11 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.adversary import ADVERSARIES, make_adversary
+from repro.adversary import ADVERSARIES, WaveAdversary, make_adversary
 from repro.core.registry import HEALERS, make_healer
 from repro.graph.generators import GENERATORS
 from repro.sim.metrics import ConnectivityMetric, default_metrics
-from repro.sim.simulator import run_simulation
+from repro.sim.simulator import run_simulation, run_wave_simulation
 from repro.utils.rng import derive_seed
 from repro.version import PAPER, __version__
 
@@ -66,7 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--adversary", default="neighbor-of-max",
                      choices=sorted(ADVERSARIES))
     sim.add_argument("--seed", type=int, default=0)
-    sim.add_argument("--max-deletions", type=int, default=None)
+    sim.add_argument("--max-deletions", type=int, default=None,
+                     help="node-deletion budget (single-victim adversaries)")
+    sim.add_argument("--wave-size", type=int, default=8,
+                     help="victims per wave (wave adversaries only)")
+    sim.add_argument("--max-waves", type=int, default=None,
+                     help="wave budget (wave adversaries only)")
 
     sub.add_parser("list", help="list figures, healers, adversaries, generators")
     return parser
@@ -126,20 +131,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     graph = gen(**gen_kwargs)
 
     healer = make_healer(args.healer)
+    adv_params = inspect.signature(ADVERSARIES[args.adversary]).parameters
     adv_kwargs: dict = {}
-    if "seed" in inspect.signature(ADVERSARIES[args.adversary]).parameters:
+    if "seed" in adv_params:
         adv_kwargs["seed"] = derive_seed(args.seed, "attack")
+    if "schedule" in adv_params:
+        adv_kwargs["schedule"] = args.wave_size
     adversary = make_adversary(args.adversary, **adv_kwargs)
 
     metrics = default_metrics() + [ConnectivityMetric()]
-    result = run_simulation(
-        graph,
-        healer,
-        adversary,
-        id_seed=derive_seed(args.seed, "ids"),
-        metrics=metrics,
-        max_deletions=args.max_deletions,
-    )
+    if isinstance(adversary, WaveAdversary):
+        if args.max_deletions is not None:
+            print(
+                "--max-deletions is a node budget for single-victim "
+                "adversaries; use --max-waves with wave adversaries",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_wave_simulation(
+            graph,
+            healer,
+            adversary,
+            id_seed=derive_seed(args.seed, "ids"),
+            metrics=metrics,
+            max_waves=args.max_waves,
+        )
+    else:
+        result = run_simulation(
+            graph,
+            healer,
+            adversary,
+            id_seed=derive_seed(args.seed, "ids"),
+            metrics=metrics,
+            max_deletions=args.max_deletions,
+        )
     print(f"initial n        : {result.initial_n}")
     print(f"deletions        : {result.deletions}")
     print(f"final alive      : {result.final_alive}")

@@ -24,7 +24,7 @@ live in the network class.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import ClassVar, Hashable, Mapping
 
 from repro.core.components import NodeId

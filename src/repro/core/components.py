@@ -39,13 +39,21 @@ O(α) amortized.
 
 For healers that reconnect exactly ``UN(v,G) ∪ N(v,G′)`` (DASH, SDASH,
 and the component-aware baselines) the merge needs no graph traversal at
-all; for arbitrary healers (GraphHeal adds cycles; NoHeal adds nothing)
-and for batch deletions, a BFS over the affected region recomputes
-components honestly — including persistent splits, which the paper's
-model never needs but a library must survive — and then routes through
-the same union-find apply step (:meth:`ComponentTracker._apply_rebuild`).
-``check_consistency`` stays a full-BFS ground-truth check, used by tests
-and paranoid-mode runs.
+all — both for single deletions (:meth:`ComponentTracker._fast_round`)
+and for multi-victim *batch* super-deletions
+(:meth:`ComponentTracker.fast_batch_round`, footnote 1's wave regime):
+the quotient graph has one vertex per G′-neighbor-piece of each dead
+tree plus one per surviving participant class, and every quotient class
+becomes one union-find merge. For arbitrary healers (GraphHeal adds
+cycles; NoHeal adds nothing) and whenever a wave round's preconditions
+fail (a dead tree shared between victim components, a participant inside
+another victim component's shattered tree, or a plan that leaves one
+pre-round class spread over several quotient classes), a BFS over the
+affected region recomputes components honestly — including persistent
+splits, which the paper's model never needs but a library must survive —
+and then routes through the same union-find apply step
+(:meth:`ComponentTracker._apply_rebuild`). ``check_consistency`` stays a
+full-BFS ground-truth check, used by tests and paranoid-mode runs.
 """
 
 from __future__ import annotations
@@ -121,6 +129,10 @@ class ComponentTracker:
     id_changes: dict[Node, int] = field(init=False)
     messages_sent: dict[Node, int] = field(init=False)
     messages_received: dict[Node, int] = field(init=False)
+    #: batch rounds resolved by the traversal-free quotient merge / by the
+    #: honest BFS fallback (observability for tests and benchmarks)
+    fast_batch_rounds: int = field(init=False, default=0)
+    slow_batch_rounds: int = field(init=False, default=0)
     _parent: dict[Node, Node] = field(init=False, repr=False)
     _root_label: dict[Node, NodeId] = field(init=False, repr=False)
     _root_members: dict[Node, set[Node]] = field(init=False, repr=False)
@@ -355,12 +367,16 @@ class ComponentTracker:
         participants: Sequence[Node],
         plan_edges: Sequence[tuple[Node, Node]],
     ) -> RoundStats:
-        """Relabel after a *batch* heal. The caller has already removed
-        every victim (via :meth:`remove_node`) and inserted the healing
-        edges into G/G′. Always takes the traversal path — batch deletion
-        is an extension feature, not a hot loop — but the relabelling
-        lands in the same union-find apply step as every other round.
+        """Relabel after a *batch* heal via the honest traversal path.
+
+        The caller has already removed every victim (via
+        :meth:`remove_node`) and inserted the healing edges into G/G′.
+        This method BFSes the affected region of G′ and routes the result
+        through the same union-find apply step as every other round; it
+        is the ground-truth slow path that :meth:`fast_batch_round` falls
+        back to (and is differential-tested against).
         """
+        self.slow_batch_rounds += 1
         roots = self._collect_roots(affected_labels, participants)
         affected, old_label = self._region_of(roots)
         groups, group_labels = self._bfs_groups(affected, old_label)
@@ -381,6 +397,162 @@ class ComponentTracker:
             components_after=len(groups),
             largest_component=max((len(g) for g in groups), default=0),
             split=split,
+        )
+
+    def fast_batch_round(
+        self,
+        affected_labels: set[NodeId],
+        participants: Sequence[Node],
+        plan_edges: Sequence[tuple[Node, Node]],
+        foreign_labels: frozenset[NodeId] | set[NodeId] = frozenset(),
+    ) -> RoundStats | None:
+        """Traversal-free :meth:`batch_round` for component-safe wave
+        heals; returns ``None`` to defer to the honest BFS path.
+
+        Multi-victim generalization of :meth:`_fast_round`'s quotient
+        merge. The victims of one G-victim-component are already removed;
+        each dead tree named by ``affected_labels`` is shattered into
+        pieces, and every piece is G′-adjacent to a victim, so it is
+        represented among ``participants`` by at least one surviving
+        G′-neighbor — provided every victim of that tree belongs to
+        *this* victim component (the caller vouches for that; dead trees
+        shared between victim components must go through the traversal
+        until one honest round has recomputed their pieces). Quotient
+        vertices are the participants themselves (one per
+        G′-neighbor-piece of a dead tree, one per surviving class rep);
+        plan edges connect them, and each quotient class becomes one
+        union-find merge that relabels (and charges messages to) only the
+        members of classes whose label loses, exactly as in the
+        single-victim case. A still-live class named by an affected label
+        that no participant maps to is counted like the single-victim
+        path's untouched old component (it sits in the slow path's
+        affected region, so the components-merged/after accounting must
+        see it), but is never traversed.
+
+        Defers to the slow path whenever the quotient structure cannot be
+        trusted without a traversal:
+
+        * a dead tree is shared with another victim component and not yet
+          recomputed (``affected_labels ∩ foreign_labels``, or the caller
+          skipping the call entirely) — some of its pieces are invisible
+          to this round;
+        * a participant sits in another victim component's
+          not-yet-recomputed shattered tree (its current label is in
+          ``foreign_labels``) — its class's member set no longer matches
+          G′ connectivity;
+        * the plan leaves one pre-round class spread over more than one
+          quotient class — attributing members to individual pieces then
+          needs a real traversal.
+        """
+        if affected_labels & foreign_labels:
+            return None
+
+        # Quotient union-find over the participants, merged by plan edges.
+        parent: dict[Node, Node] = {u: u for u in participants}
+
+        def find(x: Node) -> Node:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in plan_edges:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        # Persistent class of each participant; bail out on shattered
+        # foreign trees (their recorded member sets are stale).
+        proot: dict[Node, Node] = {}
+        root_members = self._root_members
+        root_label = self._root_label
+        for u in parent:
+            try:
+                r = self._find(u)
+            except KeyError:
+                return None
+            members = root_members.get(r)
+            if members is None or u not in members:
+                return None
+            if root_label[r] in foreign_labels:
+                return None
+            proot[u] = r
+
+        # Piece-unity check: every persistent class must land wholly in
+        # one quotient class (a shattered own tree has one quotient
+        # vertex per piece; an intact class may be multiply represented
+        # after earlier relabels in the same wave).
+        classes: dict[Node, list[Node]] = {}
+        owner: dict[Node, Node] = {}
+        for u in participants:
+            q = find(u)
+            classes.setdefault(q, []).append(u)
+            r = proot[u]
+            prev = owner.setdefault(r, q)
+            if prev != q:
+                return None
+
+        total_changes = 0
+        total_msgs = 0
+        components_after = 0
+        largest = 0
+        merged_label_set: set[NodeId] = set()
+
+        # A dead tree's class that survived earlier rounds untouched by
+        # this plan: counted (the slow path's region includes it via its
+        # label) but never traversed or relabelled.
+        for lbl in affected_labels:
+            r = self._label_root.get(lbl)
+            if r is not None and r not in owner:
+                components_after += 1
+                merged_label_set.add(lbl)
+                largest = max(largest, len(root_members[r]))
+
+        for reps in classes.values():
+            roots: list[Node] = []
+            seen_roots: set[Node] = set()
+            for u in reps:
+                r = proot[u]
+                if r not in seen_roots:
+                    seen_roots.add(r)
+                    roots.append(r)
+            if not roots:
+                continue
+            components_after += 1
+            for r in roots:
+                merged_label_set.add(root_label[r])
+
+            if len(roots) == 1:
+                largest = max(largest, len(root_members[roots[0]]))
+                continue
+
+            final = min(root_label[r] for r in roots)
+            for r in roots:
+                if root_label[r] != final:
+                    total_changes += len(root_members[r])
+                    total_msgs += self._charge_members(root_members[r])
+
+            big = max(roots, key=lambda r: len(root_members[r]))
+            big_set = root_members[big]
+            for r in roots:
+                del self._label_root[root_label[r]]
+                if r != big:
+                    self._parent[r] = big
+                    big_set |= root_members.pop(r)
+                    del root_label[r]
+            root_label[big] = final
+            self._label_root[final] = big
+            largest = max(largest, len(big_set))
+
+        self.fast_batch_rounds += 1
+        return RoundStats(
+            deleted=None,
+            id_changes=total_changes,
+            messages_sent=total_msgs,
+            components_merged=len(merged_label_set),
+            components_after=components_after,
+            largest_component=largest,
+            split=False,
         )
 
     # ------------------------------------------------------------------

@@ -75,6 +75,12 @@ class SelfHealingNetwork:
         component tracker against ground truth, and (for component-safe
         healers) the Lemma 1 forest invariant. O(n+m) per round — meant
         for tests, not sweeps.
+    batch_fast_path:
+        When True (default), :meth:`delete_batch_and_heal` resolves
+        component-safe wave heals with the tracker's traversal-free
+        quotient merge; when False every wave takes the honest BFS path
+        (the byte-identical reference the differential tests compare
+        against).
     """
 
     def __init__(
@@ -84,10 +90,15 @@ class SelfHealingNetwork:
         *,
         seed: int | None = 0,
         check_invariants: bool = False,
+        batch_fast_path: bool = True,
     ) -> None:
         self.graph = graph
         self.healer = healer
         self.check_invariants = check_invariants
+        #: route component-safe wave heals through the tracker's quotient
+        #: fast path (False forces the honest traversal path — used by the
+        #: wave differential tests and the like-for-like benchmarks)
+        self.batch_fast_path = batch_fast_path
         self.initial_n = graph.num_nodes
         self.initial_degree: dict[Node, int] = graph.degrees()
         # δ-bucket index: every node starts at δ = 0 by definition; kept
@@ -351,6 +362,21 @@ class SelfHealingNetwork:
         per healing-edge component plus every healing-edge neighbor of
         the victims.
 
+        Fast/slow path split: a component-safe victim-component round is
+        resolved by the tracker's traversal-free quotient merge
+        (:meth:`~repro.core.components.ComponentTracker.fast_batch_round`
+        — O(participants · α + #ID-changers), the wave analogue of the
+        single-deletion fast path) whenever none of its dead trees is
+        shared with another victim component of the same wave; otherwise,
+        and whenever the quotient preconditions fail mid-merge (a
+        participant inside a foreign shattered tree, or a plan spreading
+        one pre-round class over several quotient classes), the round
+        takes the honest BFS traversal over the affected region
+        (:meth:`~repro.core.components.ComponentTracker.batch_round`).
+        Both paths produce byte-identical :class:`HealEvent` streams and
+        tracker accounting; ``batch_fast_path=False`` forces the slow
+        path everywhere.
+
         Returns one :class:`HealEvent` per victim component, in ascending
         order of the component's minimum node label.
         """
@@ -390,6 +416,21 @@ class SelfHealingNetwork:
                 )
             )
 
+        # Dead-tree ownership across victim components: a G′ tree whose
+        # victims are split between two victim components has pieces
+        # invisible to either component's round, so the first round that
+        # touches it must traverse; afterwards its pieces are honestly
+        # recomputed classes and later rounds of the wave can go fast.
+        label_claims: dict[NodeId, int] = {}
+        for _, _, _, dead_labels in infos:
+            for lbl in dead_labels:
+                label_claims[lbl] = label_claims.get(lbl, 0) + 1
+        all_dead_labels = frozenset(label_claims)
+        #: dead labels whose class (or its pieces) has been recomputed or
+        #: fast-merged by an earlier round of THIS wave — any class they
+        #: still name is a true G′ component again
+        resolved: set[NodeId] = set()
+
         # The adversary strikes: all victims vanish at once.
         for v in victim_set:
             lbl = self.tracker.label_of(v)
@@ -398,6 +439,14 @@ class SelfHealingNetwork:
                 self.healing_graph.remove_node(v)
             self.tracker.remove_node(v, lbl)
             self.deleted_nodes.append(v)
+
+        # The seed-tracker differential tests swap in a tracker class
+        # without the quotient fast path; duck-type instead of assuming.
+        fast_batch = (
+            getattr(self.tracker, "fast_batch_round", None)
+            if self.batch_fast_path
+            else None
+        )
 
         # Heal each victim component.
         events: list[HealEvent] = []
@@ -427,11 +476,28 @@ class SelfHealingNetwork:
                     added += 1
                 self.healing_graph.add_edge(a, b)
 
-            stats = self.tracker.batch_round(
-                affected_labels=set(dead_labels),
-                participants=tuple(plan.participants),
-                plan_edges=plan.edges,
-            )
+            # Fast-eligible: every dead tree of this component is either
+            # wholly ours (all its victims in this component) or already
+            # recomputed by an earlier round of the wave; participants in
+            # a still-shattered foreign tree are caught by the tracker.
+            stats = None
+            if fast_batch is not None and plan.component_safe and all(
+                label_claims[lbl] == 1 or lbl in resolved
+                for lbl in dead_labels
+            ):
+                stats = fast_batch(
+                    set(dead_labels),
+                    tuple(plan.participants),
+                    plan.edges,
+                    all_dead_labels - resolved - dead_labels,
+                )
+            if stats is None:
+                stats = self.tracker.batch_round(
+                    affected_labels=set(dead_labels),
+                    participants=tuple(plan.participants),
+                    plan_edges=plan.edges,
+                )
+            resolved |= dead_labels
             d = self._delta_index.max_key(default=0)
             if d > self.peak_delta:
                 self.peak_delta = d

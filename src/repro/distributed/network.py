@@ -23,7 +23,7 @@ from typing import Callable, Hashable
 from repro.core.base import Healer
 from repro.core.components import NodeId, make_node_ids
 from repro.distributed.engine import SyncEngine
-from repro.distributed.messages import Message, MsgKind, NodeState
+from repro.distributed.messages import Message, MsgKind
 from repro.distributed.node import NodeProcess
 from repro.errors import NodeNotFoundError, ProtocolError
 from repro.graph.graph import Graph

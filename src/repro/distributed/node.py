@@ -23,7 +23,7 @@ and reacts to messages:
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping
+from typing import Hashable
 
 from repro.core.base import Healer, NeighborhoodSnapshot
 from repro.core.components import NodeId

@@ -6,6 +6,7 @@ from repro.harness.extensions import (
     run_batch_waves,
     run_capacity_collapse,
     run_topology_matrix,
+    run_wave_schedules,
 )
 from repro.harness.fig8 import run_fig8, spec_fig8
 from repro.harness.fig9 import run_fig9
@@ -22,6 +23,7 @@ __all__ = [
     "run_batch_waves",
     "run_capacity_collapse",
     "run_topology_matrix",
+    "run_wave_schedules",
     "run_fig8",
     "spec_fig8",
     "run_fig9",
@@ -43,4 +45,5 @@ FIGURES = {
     "capacity": run_capacity_collapse,
     "topology-matrix": run_topology_matrix,
     "batch-waves": run_batch_waves,
+    "wave-schedules": run_wave_schedules,
 }

@@ -15,7 +15,11 @@ from repro.sim.metrics import (
 )
 from repro.sim.parallel import default_jobs, run_tasks
 from repro.sim.results import ResultRow, ResultSet
-from repro.sim.simulator import SimulationResult, run_simulation
+from repro.sim.simulator import (
+    SimulationResult,
+    run_simulation,
+    run_wave_simulation,
+)
 from repro.sim.stretch import StretchComputer, StretchReport
 from repro.sim.trace import Trace, TraceRecorder, load_trace, replay_trace, save_trace
 
@@ -40,6 +44,7 @@ __all__ = [
     "ResultSet",
     "SimulationResult",
     "run_simulation",
+    "run_wave_simulation",
     "StretchComputer",
     "StretchReport",
     "Trace",

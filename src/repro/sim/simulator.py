@@ -6,21 +6,26 @@
 
 :func:`run_simulation` wires a graph, a healer, an adversary, and a set of
 metrics into that loop and returns a :class:`SimulationResult`.
+:func:`run_wave_simulation` is the footnote-1 analogue: a
+:class:`~repro.adversary.waves.WaveAdversary` names whole waves of
+simultaneous victims, each healed by
+:meth:`~repro.core.network.SelfHealingNetwork.delete_batch_and_heal`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Sequence
 
 from repro.adversary.base import Adversary
+from repro.adversary.waves import WaveAdversary
 from repro.core.base import Healer
 from repro.core.network import HealEvent, SelfHealingNetwork
 from repro.errors import ConfigurationError, SimulationError
 from repro.graph.graph import Graph
 from repro.sim.metrics import Metric
 
-__all__ = ["SimulationResult", "run_simulation"]
+__all__ = ["SimulationResult", "run_simulation", "run_wave_simulation"]
 
 Node = Hashable
 
@@ -111,6 +116,88 @@ def run_simulation(
             metric.on_event(network, event)
 
     values: dict[str, float] = {}
+    for metric in metrics:
+        out = metric.finalize(network)
+        overlap = values.keys() & out.keys()
+        if overlap:
+            raise ConfigurationError(
+                f"duplicate metric names: {sorted(overlap)}"
+            )
+        values.update(out)
+
+    return SimulationResult(
+        initial_n=network.initial_n,
+        deletions=deletions,
+        final_alive=network.num_alive,
+        peak_delta=network.peak_delta,
+        values=values,
+        events=list(network.events) if keep_events else None,
+        network=network if keep_network else None,
+    )
+
+
+def run_wave_simulation(
+    graph: Graph,
+    healer: Healer,
+    adversary: WaveAdversary,
+    *,
+    id_seed: int = 0,
+    metrics: Sequence[Metric] = (),
+    stop_alive: int = 0,
+    max_waves: int | None = None,
+    check_invariants: bool = False,
+    keep_events: bool = False,
+    keep_network: bool = False,
+    batch_fast_path: bool = True,
+) -> SimulationResult:
+    """Run one *wave* campaign: simultaneous multi-victim rounds.
+
+    The footnote-1 analogue of :func:`run_simulation`: every round the
+    adversary names a whole wave of victims, all removed at once and
+    healed per victim component by
+    :meth:`~repro.core.network.SelfHealingNetwork.delete_batch_and_heal`.
+    Metrics see one ``on_event`` call per victim component (the events a
+    batch heal emits). ``result.deletions`` counts deleted *nodes*;
+    ``result.values["waves"]`` counts waves. ``batch_fast_path=False``
+    forces the tracker's honest traversal path for every wave (the
+    reference side of the differential tests and like-for-like benches);
+    the remaining parameters match :func:`run_simulation`.
+    """
+    if stop_alive < 0:
+        raise ConfigurationError(f"stop_alive must be >= 0, got {stop_alive}")
+    if max_waves is not None and max_waves < 0:
+        raise ConfigurationError(f"max_waves must be >= 0, got {max_waves}")
+
+    network = SelfHealingNetwork(
+        graph,
+        healer,
+        seed=id_seed,
+        check_invariants=check_invariants,
+        batch_fast_path=batch_fast_path,
+    )
+    adversary.reset(network)
+
+    waves = 0
+    deletions = 0
+    while network.num_alive > stop_alive:
+        if max_waves is not None and waves >= max_waves:
+            break
+        wave = adversary.choose_wave(network)
+        if not wave:
+            break
+        for victim in wave:
+            if not network.graph.has_node(victim):
+                raise SimulationError(
+                    f"adversary {adversary.name} chose dead node {victim!r}"
+                )
+        events = network.delete_batch_and_heal(wave)
+        waves += 1
+        deletions += len(set(wave))
+        for metric in metrics:
+            for event in events:
+                metric.on_event(network, event)
+
+    values: dict[str, float] = {"waves": float(waves)}
     for metric in metrics:
         out = metric.finalize(network)
         overlap = values.keys() & out.keys()

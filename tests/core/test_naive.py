@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 
 from tests.conftest import full_kill
 
-from repro.adversary import RandomAttack, ScriptedAttack
+from repro.adversary import RandomAttack
 from repro.core.naive import (
     BinaryTreeHeal,
     DegreeBoundedHealer,

@@ -17,7 +17,6 @@ from repro.graph.distance import all_pairs_distances
 from repro.graph.forest import is_forest
 from repro.graph.generators import preferential_attachment, star_graph
 from repro.graph.graph import Graph
-from repro.graph.traversal import is_connected
 
 
 class TestSurrogationCondition:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.harness.common import FigureResult, build_figure, series_table
 from repro.sim.experiment import ExperimentSpec
@@ -15,7 +14,7 @@ class TestSeriesTable:
             "n", [10, 20], {"a": [1.0, 2.0]}, extra={"env": [5.0, 6.0]}
         )
         lines = out.splitlines()
-        header = next(l for l in lines if "| n" in l)
+        header = next(ln for ln in lines if "| n" in ln)
         assert header.index("a") < header.index("env")
         assert "2.000" in out
 

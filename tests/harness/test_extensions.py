@@ -8,6 +8,7 @@ from repro.harness.extensions import (
     run_batch_waves,
     run_capacity_collapse,
     run_topology_matrix,
+    run_wave_schedules,
 )
 from repro.sim.metrics import CapacityMetric
 
@@ -81,3 +82,21 @@ class TestBatchWaves:
         assert "NO" not in fig.table
         for v in fig.series["peak δ (worst)"]:
             assert v <= 2 * 2 * math.log2(50)
+
+
+class TestWaveSchedules:
+    def test_all_schedules_stay_connected(self, tmp_path):
+        fig = run_wave_schedules(n=60, repetitions=2, out_dir=tmp_path)
+        assert "NO" not in fig.table
+        assert fig.csv_path.exists()
+
+    def test_fast_path_dominates(self):
+        fig = run_wave_schedules(
+            n=60, schedules=("constant-8",), repetitions=2
+        )
+        for row in fig.table.splitlines():
+            if "|" not in row or "schedule" in row or "-+-" in row:
+                continue
+            cells = [c.strip() for c in row.strip("|").split("|")]
+            fast, slow = int(cells[4]), int(cells[5])
+            assert fast > slow

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.harness import (
     FIGURES,
@@ -100,4 +99,5 @@ class TestRegistry:
             "capacity",
             "topology-matrix",
             "batch-waves",
+            "wave-schedules",
         }

@@ -14,12 +14,11 @@ import pytest
 
 from tests.conftest import full_kill
 
-from repro.adversary import LevelAttack, NeighborOfMaxAttack, RandomAttack
+from repro.adversary import LevelAttack, NeighborOfMaxAttack
 from repro.analysis.theory import dash_degree_bound, id_change_bound
 from repro.core import (
     Dash,
     DegreeBoundedHealer,
-    Sdash,
     SelfHealingNetwork,
     make_healer,
 )

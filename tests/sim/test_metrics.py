@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.adversary import RandomAttack, ScriptedAttack
 from repro.core.dash import Dash
 from repro.core.naive import GraphHeal, NoHeal
-from repro.graph.generators import path_graph, preferential_attachment, star_graph
+from repro.graph.generators import preferential_attachment, star_graph
 from repro.sim.metrics import (
     ComponentMetric,
     ConnectivityMetric,

@@ -54,6 +54,40 @@ class TestCommands:
         assert "peak δ" in out
         assert "max_degree_increase" in out
 
+    def test_simulate_wave_adversary(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--n",
+                "30",
+                "--adversary",
+                "random-wave",
+                "--wave-size",
+                "4",
+                "--max-waves",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "waves" in out
+        assert "deletions        : 8" in out
+
+    def test_simulate_wave_rejects_max_deletions(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--n",
+                "30",
+                "--adversary",
+                "random-wave",
+                "--max-deletions",
+                "5",
+            ]
+        )
+        assert rc == 2
+        assert "--max-waves" in capsys.readouterr().err
+
     def test_figure_theorem2(self, capsys):
         rc = main(["figure", "theorem2", "--depths", "2", "--quiet"])
         assert rc == 0

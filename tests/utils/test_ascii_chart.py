@@ -44,7 +44,7 @@ class TestAsciiLineChart:
 
     def test_dimensions(self):
         out = ascii_line_chart([1, 2], {"a": [0, 1]}, width=20, height=5)
-        plot_lines = [l for l in out.splitlines() if "|" in l]
+        plot_lines = [ln for ln in out.splitlines() if "|" in ln]
         assert len(plot_lines) == 5
 
     def test_nan_points_skipped(self):

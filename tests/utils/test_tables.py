@@ -34,8 +34,8 @@ class TestFormatTable:
 
     def test_column_alignment(self):
         out = format_table(["col"], [["x"], ["longer"]])
-        lines = [l for l in out.splitlines() if l.startswith("|")]
-        widths = {len(l) for l in lines}
+        lines = [ln for ln in out.splitlines() if ln.startswith("|")]
+        widths = {len(ln) for ln in lines}
         assert len(widths) == 1  # all box rows same width
 
 
