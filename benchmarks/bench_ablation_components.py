@@ -24,4 +24,6 @@ def test_ablation_components(benchmark, results_dir):
     )
     emit(fig)
     largest = len(fig.x_values) - 1
-    assert fig.series["dash"][largest] < fig.series["graph-heal-delta"][largest]
+    assert (
+        fig.series["dash"][largest] < fig.series["graph-heal-delta"][largest]
+    )

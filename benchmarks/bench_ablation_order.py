@@ -25,5 +25,11 @@ def test_ablation_order(benchmark, results_dir):
     emit(fig)
     largest = len(fig.x_values) - 1
     # δ-ordering is never worse than the ablated variants (means).
-    assert fig.series["dash"][largest] <= fig.series["dash-random-order"][largest] + 0.5
-    assert fig.series["dash"][largest] <= fig.series["binary-tree-heal"][largest] + 0.5
+    assert (
+        fig.series["dash"][largest]
+        <= fig.series["dash-random-order"][largest] + 0.5
+    )
+    assert (
+        fig.series["dash"][largest]
+        <= fig.series["binary-tree-heal"][largest] + 0.5
+    )

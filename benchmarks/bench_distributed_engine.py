@@ -58,4 +58,6 @@ def test_distributed_matches_centralized_at_scale(benchmark):
     # Report the NoN overhead ratio for EXPERIMENTS.md.
     id_msgs = dis.engine.total_sent(MsgKind.ID_UPDATE)
     non_msgs = dis.engine.total_sent(MsgKind.STATE)
-    print(f"\n[distributed] ID msgs={id_msgs}  NoN maintenance msgs={non_msgs}")
+    print(
+        f"\n[distributed] ID msgs={id_msgs}  NoN maintenance msgs={non_msgs}"
+    )

@@ -31,8 +31,15 @@ def test_fig8_degree_increase(benchmark, results_dir):
     n = fig.x_values[largest]
     # Shape assertions (who wins, and the theoretical envelope).
     assert fig.series["graph-heal"][largest] > fig.series["dash"][largest]
-    assert fig.series["graph-heal"][largest] > fig.series["binary-tree-heal"][largest]
-    assert fig.series["binary-tree-heal"][largest] > fig.series["dash"][largest]
+    assert (
+        fig.series["graph-heal"][largest]
+        > fig.series["binary-tree-heal"][largest]
+    )
+    assert (
+        fig.series["binary-tree-heal"][largest] > fig.series["dash"][largest]
+    )
     assert fig.series["dash"][largest] <= 2 * math.log2(n)
     assert fig.series["sdash"][largest] <= 2 * math.log2(n)
-    assert abs(fig.series["dash"][largest] - fig.series["sdash"][largest]) <= 2.0
+    assert (
+        abs(fig.series["dash"][largest] - fig.series["sdash"][largest]) <= 2.0
+    )

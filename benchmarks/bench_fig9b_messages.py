@@ -21,7 +21,9 @@ def test_fig9b_messages(benchmark, results_dir):
     emit(fig_b)
     for i, n in enumerate(fig_b.x_values):
         n_int = int(n)
-        d_max = preferential_attachment(n_int, 2, seed=DEFAULT_SEED).max_degree()
+        d_max = preferential_attachment(
+            n_int, 2, seed=DEFAULT_SEED
+        ).max_degree()
         envelope = 2 * (d_max + 2 * math.log2(n_int)) * math.log(n_int)
         for healer, ys in fig_b.series.items():
             assert ys[i] <= envelope, (healer, n)

@@ -12,7 +12,7 @@ from repro.core.naive import GraphHeal
 from repro.core.network import SelfHealingNetwork
 from repro.core.sdash import Sdash
 from repro.graph.generators import preferential_attachment, star_graph
-from repro.sim.simulator import run_simulation
+from repro.sim.engine import run_campaign
 
 
 def test_single_heal_star_hub(benchmark):
@@ -30,7 +30,7 @@ def test_single_heal_star_hub(benchmark):
 def test_full_kill_dash_n300(benchmark):
     def run():
         g = preferential_attachment(300, 2, seed=3)
-        return run_simulation(g, Dash(), RandomAttack(seed=3))
+        return run_campaign(g, Dash(), RandomAttack(seed=3))
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.final_alive == 0
@@ -39,7 +39,7 @@ def test_full_kill_dash_n300(benchmark):
 def test_full_kill_sdash_nms_n300(benchmark):
     def run():
         g = preferential_attachment(300, 2, seed=3)
-        return run_simulation(g, Sdash(), NeighborOfMaxAttack(seed=3))
+        return run_campaign(g, Sdash(), NeighborOfMaxAttack(seed=3))
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.final_alive == 0
@@ -51,7 +51,7 @@ def test_full_kill_graphheal_n300(benchmark):
 
     def run():
         g = preferential_attachment(300, 2, seed=3)
-        return run_simulation(g, GraphHeal(), RandomAttack(seed=3))
+        return run_campaign(g, GraphHeal(), RandomAttack(seed=3))
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.final_alive == 0

@@ -24,7 +24,7 @@ from benchmarks.conftest import FULL, RESULTS_DIR
 from repro.adversary.classic import RandomAttack
 from repro.core.registry import make_healer
 from repro.graph.generators import preferential_attachment
-from repro.sim.simulator import run_simulation
+from repro.sim.engine import run_campaign
 from repro.utils.tables import format_table
 from repro.utils.timing import Timer
 
@@ -48,7 +48,7 @@ def _measure(healer_name: str, n: int, max_deletions: int | None):
     g = preferential_attachment(n, 3, seed=1)
     healer = make_healer(healer_name)
     with Timer() as t:
-        res = run_simulation(
+        res = run_campaign(
             g,
             healer,
             RandomAttack(seed=2),

@@ -42,7 +42,7 @@ from repro.adversary.classic import (
 )
 from repro.core.registry import make_healer
 from repro.graph.generators import preferential_attachment
-from repro.sim.simulator import run_simulation
+from repro.sim.engine import run_campaign
 from repro.utils.tables import format_table
 from repro.utils.timing import Timer
 
@@ -100,7 +100,7 @@ def _measure(
         healer = make_healer("dash")
         adversary = ADVERSARIES[adversary_name]()
         with Timer() as t:
-            res = run_simulation(g, healer, adversary, id_seed=0)
+            res = run_campaign(g, healer, adversary, id_seed=0)
         assert res.final_alive == 0
         best = min(best, t.elapsed)
         rounds = res.deletions
@@ -164,7 +164,7 @@ def test_campaign_nms_pa4000(bench_recorder):
     def run(adversary) -> float:
         g = preferential_attachment(4_000, 3, seed=1)
         with Timer() as t:
-            res = run_simulation(g, make_healer("dash"), adversary, id_seed=0)
+            res = run_campaign(g, make_healer("dash"), adversary, id_seed=0)
         assert res.deletions == 4_000
         return t.elapsed
 

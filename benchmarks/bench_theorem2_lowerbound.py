@@ -17,17 +17,23 @@ DEPTHS_M2 = (2, 3) if FULL else (2, 3)
 
 def test_theorem2_m1(benchmark, results_dir):
     fig = benchmark.pedantic(
-        lambda: run_theorem2(depths=DEPTHS_M1, max_increase=1, out_dir="results"),
+        lambda: run_theorem2(
+            depths=DEPTHS_M1, max_increase=1, out_dir="results"
+        ),
         rounds=1,
         iterations=1,
     )
     emit(fig)
-    assert fig.series["bounded(M=1) forced δ"] == [float(d) for d in DEPTHS_M1]
+    assert fig.series["bounded(M=1) forced δ"] == [
+        float(d) for d in DEPTHS_M1
+    ]
 
 
 def test_theorem2_m2(benchmark, results_dir):
     fig = benchmark.pedantic(
-        lambda: run_theorem2(depths=DEPTHS_M2, max_increase=2, out_dir="results"),
+        lambda: run_theorem2(
+            depths=DEPTHS_M2, max_increase=2, out_dir="results"
+        ),
         rounds=1,
         iterations=1,
     )

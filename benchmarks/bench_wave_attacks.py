@@ -37,7 +37,7 @@ from benchmarks.conftest import FULL, RESULTS_DIR
 from repro.adversary.waves import RandomWaveAttack, TargetedWaveAttack
 from repro.core.registry import make_healer
 from repro.graph.generators import preferential_attachment
-from repro.sim.simulator import run_wave_simulation
+from repro.sim.engine import run_campaign
 from repro.utils.tables import format_table
 from repro.utils.timing import Timer
 
@@ -46,13 +46,15 @@ QUICK_WORKLOADS = [(500, True), (1_000, True), (2_000, True), (4_000, True)]
 FULL_WORKLOADS = [(16_000, True)]
 
 
-def _run_campaign(n: int, *, fast: bool, seed: int = 2) -> tuple[float, "object"]:
+def _run_wave_campaign(
+    n: int, *, fast: bool, seed: int = 2
+) -> tuple[float, "object"]:
     """One full-kill √n-wave random campaign; graph generation excluded."""
     g = preferential_attachment(n, 3, seed=1)
     adversary = RandomWaveAttack(("constant", math.isqrt(n)), seed=seed)
     healer = make_healer("dash")
     with Timer() as t:
-        res = run_wave_simulation(
+        res = run_campaign(
             g, healer, adversary, id_seed=0, batch_fast_path=fast,
             keep_network=True,
         )
@@ -67,7 +69,7 @@ def test_wave_campaign_cost(bench_recorder):
     workloads = QUICK_WORKLOADS + (FULL_WORKLOADS if FULL else [])
     rows = []
     for n, measure_slow in workloads:
-        fast_s, res = _run_campaign(n, fast=True)
+        fast_s, res = _run_wave_campaign(n, fast=True)
         tracker = res.network.tracker
         extra = {
             "fast_batch_rounds": tracker.fast_batch_rounds,
@@ -75,7 +77,7 @@ def test_wave_campaign_cost(bench_recorder):
         }
         slow_s = None
         if measure_slow:
-            slow_s, _ = _run_campaign(n, fast=False)
+            slow_s, _ = _run_wave_campaign(n, fast=False)
             extra["traversal_seconds"] = round(slow_s, 6)
             extra["speedup_vs_traversal"] = round(slow_s / fast_s, 2)
         bench_recorder.record(
@@ -125,8 +127,8 @@ def test_campaign_wave_pa4000(bench_recorder):
     """
     fast = slow = float("inf")
     for rep in range(3):  # interleaved: both sides see the same conditions
-        slow_s, _ = _run_campaign(4_000, fast=False)
-        fast_s, _ = _run_campaign(4_000, fast=True)
+        slow_s, _ = _run_wave_campaign(4_000, fast=False)
+        fast_s, _ = _run_wave_campaign(4_000, fast=True)
         slow = min(slow, slow_s)
         fast = min(fast, fast_s)
     speedup = slow / fast
@@ -159,7 +161,7 @@ def test_targeted_wave_campaign(bench_recorder):
     n = 2_000
     g = preferential_attachment(n, 3, seed=1)
     with Timer() as t:
-        res = run_wave_simulation(
+        res = run_campaign(
             g,
             make_healer("dash"),
             TargetedWaveAttack(("constant", math.isqrt(n))),
@@ -185,7 +187,7 @@ def test_targeted_wave_campaign(bench_recorder):
 @pytest.mark.skipif(not FULL, reason="REPRO_BENCH_FULL=1 only")
 def test_campaign_wave_pa100000(bench_recorder):
     """Acceptance workload: n=100,000 √n-wave full kill under 60s."""
-    seconds, res = _run_campaign(100_000, fast=True)
+    seconds, res = _run_wave_campaign(100_000, fast=True)
     bench_recorder.record(
         "wave_random-wave_pa100000_m3",
         seconds=seconds,

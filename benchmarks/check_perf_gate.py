@@ -26,7 +26,9 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_core.json"
+DEFAULT_JSON = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_core.json"
+)
 
 #: (workload, how to compute the speedup from its entry, floor)
 GATES = [
@@ -63,7 +65,9 @@ def main(argv: list[str]) -> int:
     for name, speedup_of, floor, what in GATES:
         entry = workloads.get(name)
         if entry is None:
-            failures.append(f"{name}: workload missing from {path.name} ({what})")
+            failures.append(
+                f"{name}: workload missing from {path.name} ({what})"
+            )
             continue
         try:
             speedup = speedup_of(entry)

@@ -17,7 +17,7 @@ Run:  python examples/airline_network.py
 
 from __future__ import annotations
 
-from repro import MaxNodeAttack, make_healer, run_simulation
+from repro import MaxNodeAttack, make_healer, run_campaign
 from repro.graph.graph import Graph
 from repro.sim.metrics import ConnectivityMetric, DegreeMetric, StretchMetric
 from repro.utils.tables import format_table
@@ -52,7 +52,7 @@ def build_route_map() -> Graph:
 
 def simulate(healer_name: str, route_map: Graph):
     original = route_map.copy()
-    return run_simulation(
+    return run_campaign(
         route_map.copy(),
         make_healer(healer_name),
         MaxNodeAttack(),

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 
-from repro import Dash, DegreeBoundedHealer, LevelAttack, run_simulation
+from repro import Dash, DegreeBoundedHealer, LevelAttack, run_campaign
 from repro.graph.generators import complete_kary_tree, kary_tree_size
 from repro.utils.tables import format_table
 
@@ -36,13 +36,13 @@ def main() -> None:
     rows = []
     for depth in (2, 3, 4, 5):
         n = kary_tree_size(BRANCHING, depth)
-        bounded = run_simulation(
+        bounded = run_campaign(
             complete_kary_tree(BRANCHING, depth),
             DegreeBoundedHealer(max_increase=M),
             LevelAttack(BRANCHING),
             id_seed=0,
         )
-        dash = run_simulation(
+        dash = run_campaign(
             complete_kary_tree(BRANCHING, depth),
             Dash(),
             LevelAttack(BRANCHING),

@@ -18,7 +18,7 @@ from repro import (
     NeighborOfMaxAttack,
     default_metrics,
     preferential_attachment,
-    run_simulation,
+    run_campaign,
 )
 from repro.sim.metrics import ConnectivityMetric
 
@@ -31,7 +31,7 @@ def main() -> None:
     print(f"attack  : NeighborOfMax (delete a random neighbor of the hub)")
     print(f"healer  : DASH\n")
 
-    result = run_simulation(
+    result = run_campaign(
         graph,
         Dash(),
         NeighborOfMaxAttack(seed=7),

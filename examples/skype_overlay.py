@@ -21,12 +21,10 @@ from __future__ import annotations
 import math
 
 from repro import (
-    GraphHeal,
     MaxNodeAttack,
-    NoHeal,
     make_healer,
     preferential_attachment,
-    run_simulation,
+    run_campaign,
 )
 from repro.sim.metrics import ComponentMetric, ConnectivityMetric, DegreeMetric
 from repro.utils.tables import format_table
@@ -37,20 +35,26 @@ OUTAGE_WAVES = 120  # supernodes taken down by the cascade
 
 def simulate(healer_name: str):
     overlay = preferential_attachment(N, m=2, seed=2007)
-    result = run_simulation(
+    result = run_campaign(
         overlay,
         make_healer(healer_name),
         MaxNodeAttack(),  # the cascade always topples the busiest node
         id_seed=815,
         max_deletions=OUTAGE_WAVES,
-        metrics=[DegreeMetric(), ConnectivityMetric(), ComponentMetric(period=5)],
+        metrics=[
+            DegreeMetric(),
+            ConnectivityMetric(),
+            ComponentMetric(period=5),
+        ],
     )
     return result
 
 
 def main() -> None:
     print(f"Skype-style overlay: {N} peers, scale-free topology")
-    print(f"cascade: {OUTAGE_WAVES} waves, each deleting the busiest supernode\n")
+    print(
+        f"cascade: {OUTAGE_WAVES} waves, each deleting the busiest supernode\n"
+    )
 
     rows = []
     for name in ("none", "graph-heal", "dash"):

@@ -10,12 +10,23 @@ and the full experiment harness regenerating every figure.
 Quick start
 -----------
 >>> from repro import preferential_attachment, SelfHealingNetwork, Dash
->>> from repro import NeighborOfMaxAttack, run_simulation, default_metrics
+>>> from repro import NeighborOfMaxAttack, run_campaign, default_metrics
 >>> g = preferential_attachment(100, 2, seed=1)
->>> result = run_simulation(g, Dash(), NeighborOfMaxAttack(seed=2),
-...                         metrics=default_metrics())
+>>> result = run_campaign(g, Dash(), NeighborOfMaxAttack(seed=2),
+...                       metrics=default_metrics())
 >>> result.peak_delta <= 2 * 7  # ≤ 2·log2(100) ≈ 13.3
 True
+
+The same engine drives wave campaigns (footnote 1's simultaneous
+multi-node failures) — any component can be named by a registry spec
+string:
+
+>>> from repro import make_adversary, make_healer
+>>> g = preferential_attachment(100, 2, seed=1)
+>>> wave = make_adversary("random-wave:size=8,schedule=geometric", seed=3)
+>>> result = run_campaign(g, make_healer("dash"), wave)
+>>> result.final_alive
+0
 """
 
 from repro.adversary import (
@@ -56,6 +67,7 @@ from repro.core import (
 )
 from repro.distributed import DistributedNetwork
 from repro.errors import ReproError
+from repro.registry import Registry, component_registries, parse_spec
 from repro.graph import (
     Graph,
     complete_kary_tree,
@@ -66,11 +78,13 @@ from repro.graph import (
     random_tree,
 )
 from repro.sim import (
+    METRICS,
     ExperimentSpec,
     ResultSet,
     SimulationResult,
     StretchComputer,
     default_metrics,
+    run_campaign,
     run_experiment,
     run_simulation,
     run_wave_simulation,
@@ -112,6 +126,9 @@ __all__ = [
     "make_healer",
     "DistributedNetwork",
     "ReproError",
+    "Registry",
+    "component_registries",
+    "parse_spec",
     "Graph",
     "complete_kary_tree",
     "erdos_renyi",
@@ -119,11 +136,13 @@ __all__ = [
     "is_forest",
     "preferential_attachment",
     "random_tree",
+    "METRICS",
     "ExperimentSpec",
     "ResultSet",
     "SimulationResult",
     "StretchComputer",
     "default_metrics",
+    "run_campaign",
     "run_experiment",
     "run_simulation",
     "run_wave_simulation",

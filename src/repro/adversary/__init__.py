@@ -1,6 +1,10 @@
-"""Attack strategies: the paper's adversaries and the lower-bound LEVELATTACK."""
+"""Attack strategies: the paper's adversaries and the lower-bound LEVELATTACK.
 
-from typing import Callable
+:data:`ADVERSARIES` is a :class:`~repro.registry.Registry`, so any
+adversary can be built from a spec string —
+``make_adversary("random-wave:size=8,schedule=geometric")`` — with seeds
+injected centrally by callers that derive them (experiment runner, CLI).
+"""
 
 from repro.adversary.base import Adversary
 from repro.adversary.classic import (
@@ -13,6 +17,7 @@ from repro.adversary.classic import (
 from repro.adversary.levelattack import LevelAttack, prune_order
 from repro.adversary.scripted import ScriptedAttack
 from repro.adversary.waves import (
+    WAVE_SCHEDULES,
     RandomWaveAttack,
     TargetedWaveAttack,
     WaveAdversary,
@@ -21,7 +26,7 @@ from repro.adversary.waves import (
     geometric_schedule,
     make_wave_schedule,
 )
-from repro.errors import ConfigurationError
+from repro.registry import Registry
 
 __all__ = [
     "Adversary",
@@ -41,29 +46,32 @@ __all__ = [
     "make_wave_schedule",
     "prune_order",
     "ADVERSARIES",
+    "WAVE_SCHEDULES",
     "make_adversary",
 ]
 
-#: Name → factory registry (mirrors the healer registry).
-ADVERSARIES: dict[str, Callable[..., Adversary]] = {
-    MaxNodeAttack.name: MaxNodeAttack,
-    NeighborOfMaxAttack.name: NeighborOfMaxAttack,
-    RandomAttack.name: RandomAttack,
-    MinDegreeAttack.name: MinDegreeAttack,
-    MaxDeltaNeighborAttack.name: MaxDeltaNeighborAttack,
-    LevelAttack.name: LevelAttack,
-    ScriptedAttack.name: ScriptedAttack,
-    RandomWaveAttack.name: RandomWaveAttack,
-    TargetedWaveAttack.name: TargetedWaveAttack,
-}
+#: Name → factory registry (a :class:`~repro.registry.Registry`; accepts
+#: spec strings everywhere a name is accepted).
+ADVERSARIES: Registry = Registry(
+    "adversary",
+    {
+        MaxNodeAttack.name: MaxNodeAttack,
+        NeighborOfMaxAttack.name: NeighborOfMaxAttack,
+        RandomAttack.name: RandomAttack,
+        MinDegreeAttack.name: MinDegreeAttack,
+        MaxDeltaNeighborAttack.name: MaxDeltaNeighborAttack,
+        LevelAttack.name: LevelAttack,
+        ScriptedAttack.name: ScriptedAttack,
+        RandomWaveAttack.name: RandomWaveAttack,
+        TargetedWaveAttack.name: TargetedWaveAttack,
+    },
+    injected=("seed",),
+)
 
 
-def make_adversary(name: str, **kwargs) -> Adversary:
-    """Instantiate an adversary by registry name, forwarding ``kwargs``."""
-    try:
-        factory = ADVERSARIES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown adversary {name!r}; available: {', '.join(sorted(ADVERSARIES))}"
-        ) from None
-    return factory(**kwargs)
+def make_adversary(spec: str, **kwargs) -> Adversary:
+    """Instantiate an adversary from a name or spec string.
+
+    ``kwargs`` override any arguments carried by the spec string.
+    """
+    return ADVERSARIES.make(spec, overrides=kwargs)

@@ -16,7 +16,7 @@ so the agenda always observes the post-heal state.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, ClassVar, Hashable, Iterator
+from typing import TYPE_CHECKING, ClassVar, Hashable, Iterator, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.network import SelfHealingNetwork
@@ -29,13 +29,25 @@ Node = Hashable
 class Adversary(abc.ABC):
     """A node-deletion strategy.
 
-    Lifecycle: the simulator calls :meth:`reset` once per run, then
-    :meth:`choose_target` before every deletion; returning ``None`` ends
-    the attack early (the simulator also stops on its own termination
+    Lifecycle: the campaign engine calls :meth:`reset` once per run, then
+    :meth:`choose_round` before every round; returning ``None`` ends the
+    attack early (the engine also stops on its own termination
     conditions).
+
+    A *round* is a sequence of victims deleted simultaneously (footnote 1
+    of the paper). Classic single-victim strategies implement
+    :meth:`choose_target` (or :meth:`agenda`) and inherit a
+    :meth:`choose_round` that wraps each victim in a singleton;
+    :class:`~repro.adversary.waves.WaveAdversary` overrides
+    :meth:`choose_round` to name whole waves and flips
+    :attr:`batch_rounds`, which tells the engine to heal the round with
+    :meth:`~repro.core.network.SelfHealingNetwork.delete_batch_and_heal`.
     """
 
     name: ClassVar[str] = "abstract"
+    #: whether rounds are simultaneous batches (wave semantics) — the
+    #: engine's routing flag; single-victim strategies leave it False
+    batch_rounds: ClassVar[bool] = False
 
     def reset(self, network: "SelfHealingNetwork") -> None:
         """Prepare for a fresh run against ``network``."""
@@ -54,6 +66,18 @@ class Adversary(abc.ABC):
             return next(self._iter)
         except StopIteration:
             return None
+
+    def choose_round(
+        self, network: "SelfHealingNetwork"
+    ) -> Sequence[Node] | None:
+        """Name the next round of victims, or ``None`` to stop attacking.
+
+        The engine's single entry point into the adversary. The default
+        implementation adapts :meth:`choose_target` to a singleton round;
+        batch strategies override this directly.
+        """
+        victim = self.choose_target(network)
+        return None if victim is None else (victim,)
 
     def agenda(self, network: "SelfHealingNetwork") -> Iterator[Node]:
         """Yield victims one at a time; resumed after each heal completes."""

@@ -52,4 +52,7 @@ class ScriptedAttack(Adversary):
                 )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ScriptedAttack(len={len(self.sequence)}, strict={self.strict})"
+        return (
+            f"ScriptedAttack(len={len(self.sequence)}, "
+            f"strict={self.strict})"
+        )

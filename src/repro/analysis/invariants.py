@@ -82,7 +82,9 @@ def check_degree_index(network: SelfHealingNetwork) -> None:
         ) from exc
 
 
-def check_degree_bound(network: SelfHealingNetwork, factor: float = 1.0) -> None:
+def check_degree_bound(
+    network: SelfHealingNetwork, factor: float = 1.0
+) -> None:
     """Lemma 6: peak degree increase ≤ 2·log₂ n (times ``factor`` slack)."""
     bound = factor * dash_degree_bound(max(network.initial_n, 2))
     if network.peak_delta > bound + 1e-9:

@@ -1,5 +1,10 @@
 """Command-line interface.
 
+Every component argument (``--generator``, ``--healer``, ``--adversary``)
+accepts a registry name *or* a spec string carrying constructor
+arguments (see :mod:`repro.registry`), so new scenarios need no new
+flags.
+
 Examples
 --------
 Regenerate a paper figure (small, fast settings)::
@@ -15,6 +20,11 @@ Run a one-off simulation and print its metrics::
     python -m repro.cli simulate --generator preferential_attachment \
         --n 200 --healer dash --adversary neighbor-of-max --seed 7
 
+Run a wave campaign (footnote 1's simultaneous-failure regime)::
+
+    python -m repro.cli simulate --n 500 --healer dash \
+        --adversary "random-wave:size=8,schedule=geometric" --seed 7
+
 List available components::
 
     python -m repro.cli list
@@ -26,11 +36,13 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.adversary import ADVERSARIES, WaveAdversary, make_adversary
-from repro.core.registry import HEALERS, make_healer
+from repro.adversary import ADVERSARIES
+from repro.core.registry import HEALERS
+from repro.errors import ConfigurationError
 from repro.graph.generators import GENERATORS
+from repro.registry import component_registries
+from repro.sim.engine import run_campaign
 from repro.sim.metrics import ConnectivityMetric, default_metrics
-from repro.sim.simulator import run_simulation, run_wave_simulation
 from repro.utils.rng import derive_seed
 from repro.version import PAPER, __version__
 
@@ -54,17 +66,22 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--seed", type=int, default=None)
     fig.add_argument("--jobs", type=int, default=None)
     fig.add_argument("--out", default=None, help="directory for CSV output")
-    fig.add_argument("--quiet", action="store_true", help="table only, no chart")
+    fig.add_argument(
+        "--quiet", action="store_true", help="table only, no chart"
+    )
 
     sim = sub.add_parser("simulate", help="run one attack/heal campaign")
     sim.add_argument("--generator", default="preferential_attachment",
-                     choices=sorted(GENERATORS))
+                     help="generator name or spec string (see `list`)")
     sim.add_argument("--n", type=int, default=100)
-    sim.add_argument("--m", type=int, default=2,
-                     help="generator edge parameter (where applicable)")
-    sim.add_argument("--healer", default="dash", choices=sorted(HEALERS))
+    sim.add_argument("--m", type=int, default=None,
+                     help="generator edge parameter (where applicable; "
+                          "default 2)")
+    sim.add_argument("--healer", default="dash",
+                     help="healer name or spec string (see `list`)")
     sim.add_argument("--adversary", default="neighbor-of-max",
-                     choices=sorted(ADVERSARIES))
+                     help="adversary name or spec string, e.g. "
+                          "'random-wave:size=8,schedule=geometric'")
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--max-deletions", type=int, default=None,
                      help="node-deletion budget (single-victim adversaries)")
@@ -73,7 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--max-waves", type=int, default=None,
                      help="wave budget (wave adversaries only)")
 
-    sub.add_parser("list", help="list figures, healers, adversaries, generators")
+    sub.add_parser(
+        "list",
+        help="list figures, healers, adversaries, generators, "
+             "wave schedules, metrics",
+    )
     return parser
 
 
@@ -81,8 +102,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.harness import FIGURES
 
     if args.name not in FIGURES:
-        print(f"unknown figure {args.name!r}; known: {', '.join(sorted(FIGURES))}",
-              file=sys.stderr)
+        print(
+            f"unknown figure {args.name!r}; "
+            f"known: {', '.join(sorted(FIGURES))}",
+            file=sys.stderr,
+        )
         return 2
     import inspect
 
@@ -115,56 +139,53 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    import inspect
-
-    gen = GENERATORS[args.generator]
-    gen_kwargs: dict = {}
-    sig = inspect.signature(gen).parameters
-    if "n" in sig:
-        gen_kwargs["n"] = args.n
-    if "m" in sig:
-        gen_kwargs["m"] = args.m
-    if "p" in sig:
-        gen_kwargs["p"] = 0.05
-    if "seed" in sig:
-        gen_kwargs["seed"] = derive_seed(args.seed, "graph")
-    graph = gen(**gen_kwargs)
-
-    healer = make_healer(args.healer)
-    adv_params = inspect.signature(ADVERSARIES[args.adversary]).parameters
-    adv_kwargs: dict = {}
-    if "seed" in adv_params:
-        adv_kwargs["seed"] = derive_seed(args.seed, "attack")
-    if "schedule" in adv_params:
-        adv_kwargs["schedule"] = args.wave_size
-    adversary = make_adversary(args.adversary, **adv_kwargs)
-
-    metrics = default_metrics() + [ConnectivityMetric()]
-    if isinstance(adversary, WaveAdversary):
-        if args.max_deletions is not None:
-            print(
-                "--max-deletions is a node budget for single-victim "
-                "adversaries; use --max-waves with wave adversaries",
-                file=sys.stderr,
-            )
-            return 2
-        result = run_wave_simulation(
-            graph,
-            healer,
-            adversary,
-            id_seed=derive_seed(args.seed, "ids"),
-            metrics=metrics,
-            max_waves=args.max_waves,
+    # Build every component from its spec string; the registries parse
+    # arguments, check names, and inject derived seeds where accepted.
+    try:
+        force = {"n": args.n}
+        if args.m is not None:
+            force["m"] = args.m
+        graph = GENERATORS.make(
+            args.generator,
+            seed=derive_seed(args.seed, "graph"),
+            force=force,
+            defaults={"m": 2, "p": 0.05},
         )
-    else:
-        result = run_simulation(
-            graph,
-            healer,
-            adversary,
-            id_seed=derive_seed(args.seed, "ids"),
-            metrics=metrics,
-            max_deletions=args.max_deletions,
+        healer = HEALERS.make(args.healer)
+        adversary = ADVERSARIES.make(
+            args.adversary,
+            seed=derive_seed(args.seed, "attack"),
+            defaults={"size": args.wave_size},
         )
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    is_wave = getattr(adversary, "batch_rounds", False)
+    if is_wave and args.max_deletions is not None:
+        print(
+            "--max-deletions is a node budget for single-victim "
+            "adversaries; use --max-waves with wave adversaries",
+            file=sys.stderr,
+        )
+        return 2
+    if not is_wave and args.max_waves is not None:
+        print(
+            "--max-waves is a round budget for wave adversaries; use "
+            "--max-deletions with single-victim adversaries",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = run_campaign(
+        graph,
+        healer,
+        adversary,
+        id_seed=derive_seed(args.seed, "ids"),
+        metrics=default_metrics() + [ConnectivityMetric()],
+        max_rounds=args.max_waves,
+        max_deletions=args.max_deletions,
+    )
     print(f"initial n        : {result.initial_n}")
     print(f"deletions        : {result.deletions}")
     print(f"final alive      : {result.final_alive}")
@@ -177,10 +198,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_list(_: argparse.Namespace) -> int:
     from repro.harness import FIGURES
 
-    print("figures    :", ", ".join(sorted(FIGURES)))
-    print("healers    :", ", ".join(sorted(HEALERS)))
-    print("adversaries:", ", ".join(sorted(ADVERSARIES)))
-    print("generators :", ", ".join(sorted(GENERATORS)))
+    labels = {
+        "healer": "healers",
+        "adversary": "adversaries",
+        "generator": "generators",
+        "wave-schedule": "wave schedules",
+        "metric": "metrics",
+    }
+    print("figures       :", ", ".join(sorted(FIGURES)))
+    for family, registry in component_registries().items():
+        print(
+            f"{labels.get(family, family):<14s}:",
+            ", ".join(registry.names()),
+        )
     return 0
 
 

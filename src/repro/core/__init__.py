@@ -2,7 +2,12 @@
 self-healing network orchestration they run inside."""
 
 from repro.core.base import Healer, NeighborhoodSnapshot, ReconnectionPlan
-from repro.core.components import ComponentTracker, NodeId, RoundStats, make_node_ids
+from repro.core.components import (
+    ComponentTracker,
+    NodeId,
+    RoundStats,
+    make_node_ids,
+)
 from repro.core.dash import Dash
 from repro.core.naive import (
     BinaryTreeHeal,
@@ -14,7 +19,12 @@ from repro.core.naive import (
     StarHeal,
 )
 from repro.core.network import HealEvent, SelfHealingNetwork
-from repro.core.registry import HEALERS, PAPER_HEALERS, healer_names, make_healer
+from repro.core.registry import (
+    HEALERS,
+    PAPER_HEALERS,
+    healer_names,
+    make_healer,
+)
 from repro.core.sdash import Sdash
 
 __all__ = [

@@ -184,7 +184,9 @@ class Healer(abc.ABC):
         return f"{type(self).__name__}()"
 
 
-def empty_plan(snapshot: NeighborhoodSnapshot, *, component_safe: bool) -> ReconnectionPlan:
+def empty_plan(
+    snapshot: NeighborhoodSnapshot, *, component_safe: bool
+) -> ReconnectionPlan:
     """A plan that adds nothing (used for trivial neighborhoods and NoHeal)."""
     participants = (
         tuple(snapshot.participants()) if component_safe else tuple()

@@ -72,7 +72,9 @@ def complete_tree_edges(
     return edges
 
 
-def complete_binary_tree_edges(ordered: Sequence[Node]) -> list[tuple[Node, Node]]:
+def complete_binary_tree_edges(
+    ordered: Sequence[Node]
+) -> list[tuple[Node, Node]]:
     """The DASH RT: complete binary tree in heap order over ``ordered``."""
     return complete_tree_edges(ordered, branching=2)
 
@@ -82,6 +84,8 @@ def path_edges(ordered: Sequence[Node]) -> list[tuple[Node, Node]]:
     return [(ordered[i], ordered[i + 1]) for i in range(len(ordered) - 1)]
 
 
-def star_edges(center: Node, others: Sequence[Node]) -> list[tuple[Node, Node]]:
+def star_edges(
+    center: Node, others: Sequence[Node]
+) -> list[tuple[Node, Node]]:
     """A star centered at ``center`` (the SDASH surrogation layout)."""
     return [(center, u) for u in others if u != center]

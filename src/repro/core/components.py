@@ -347,7 +347,11 @@ class ComponentTracker:
         except KeyError:
             root = None
         mem = self._root_members.get(root) if root is not None else None
-        if mem is None or node not in mem or self._root_label[root] != expected_label:
+        if (
+            mem is None
+            or node not in mem
+            or self._root_label[root] != expected_label
+        ):
             raise SimulationError(
                 f"deleted node {node!r} not tracked under label "
                 f"{expected_label!r}"

@@ -31,7 +31,12 @@ from __future__ import annotations
 import random
 from typing import ClassVar
 
-from repro.core.base import Healer, NeighborhoodSnapshot, ReconnectionPlan, empty_plan
+from repro.core.base import (
+    Healer,
+    NeighborhoodSnapshot,
+    ReconnectionPlan,
+    empty_plan,
+)
 from repro.core.binary_tree import (
     complete_binary_tree_edges,
     complete_tree_edges,

@@ -113,7 +113,9 @@ class SelfHealingNetwork:
             )
         graph.degree_listener = self._on_degree_change
         rng = make_rng(seed)
-        self.initial_ids: dict[Node, NodeId] = make_node_ids(graph.nodes(), rng)
+        self.initial_ids: dict[Node, NodeId] = make_node_ids(
+            graph.nodes(), rng
+        )
         # G′ never pays degree-index bookkeeping: nothing queries its
         # degree extremes, so its lazy index is simply never built.
         self.healing_graph = Graph(graph.nodes())
@@ -341,7 +343,9 @@ class SelfHealingNetwork:
     # ------------------------------------------------------------------
     # Simultaneous batch deletion (paper footnote 1)
     # ------------------------------------------------------------------
-    def delete_batch_and_heal(self, victims: Iterable[Node]) -> list[HealEvent]:
+    def delete_batch_and_heal(
+        self, victims: Iterable[Node]
+    ) -> list[HealEvent]:
         """Delete a *set* of nodes simultaneously and heal afterwards.
 
         The paper's footnote 1: DASH "can easily handle the situation

@@ -3,11 +3,13 @@
 Experiment specs and the CLI refer to healers by short string names; this
 module is the single source of truth for that mapping. Factories (not
 instances) are registered because some healers carry per-run state.
+
+:data:`HEALERS` is a :class:`~repro.registry.Registry`, so healers can be
+built from spec strings too (``"degree-bounded:max_increase=3"``) and
+seed injection is centralized in the callers that derive seeds.
 """
 
 from __future__ import annotations
-
-from typing import Callable
 
 from repro.core.base import Healer
 from repro.core.dash import Dash
@@ -22,22 +24,26 @@ from repro.core.naive import (
     StarHeal,
 )
 from repro.core.sdash import Sdash
-from repro.errors import ConfigurationError
+from repro.registry import Registry
 
 __all__ = ["HEALERS", "make_healer", "healer_names", "PAPER_HEALERS"]
 
-HEALERS: dict[str, Callable[[], Healer]] = {
-    NoHeal.name: NoHeal,
-    GraphHeal.name: GraphHeal,
-    DeltaOrderedGraphHeal.name: DeltaOrderedGraphHeal,
-    BinaryTreeHeal.name: BinaryTreeHeal,
-    LineHeal.name: LineHeal,
-    StarHeal.name: StarHeal,
-    Dash.name: Dash,
-    Sdash.name: Sdash,
-    RandomOrderDash.name: RandomOrderDash,
-    DegreeBoundedHealer.name: DegreeBoundedHealer,
-}
+HEALERS: Registry = Registry(
+    "healer",
+    {
+        NoHeal.name: NoHeal,
+        GraphHeal.name: GraphHeal,
+        DeltaOrderedGraphHeal.name: DeltaOrderedGraphHeal,
+        BinaryTreeHeal.name: BinaryTreeHeal,
+        LineHeal.name: LineHeal,
+        StarHeal.name: StarHeal,
+        Dash.name: Dash,
+        Sdash.name: Sdash,
+        RandomOrderDash.name: RandomOrderDash,
+        DegreeBoundedHealer.name: DegreeBoundedHealer,
+    },
+    injected=("seed",),
+)
 
 #: The healers compared in the paper's figures (Section 4.3), in the
 #: order the legends list them.
@@ -52,19 +58,14 @@ PAPER_HEALERS: tuple[str, ...] = (
 
 def healer_names() -> list[str]:
     """All registered healer names, sorted."""
-    return sorted(HEALERS)
+    return HEALERS.names()
 
 
-def make_healer(name: str, **kwargs) -> Healer:
-    """Instantiate a healer by registry name.
+def make_healer(spec: str, **kwargs) -> Healer:
+    """Instantiate a healer from a registry name or spec string.
 
-    ``kwargs`` are forwarded to the factory (e.g.
-    ``make_healer("degree-bounded", max_increase=3)``).
+    ``kwargs`` override any arguments carried by the spec string (e.g.
+    ``make_healer("degree-bounded", max_increase=3)`` and
+    ``make_healer("degree-bounded:max_increase=3")`` are equivalent).
     """
-    try:
-        factory = HEALERS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown healer {name!r}; available: {', '.join(healer_names())}"
-        ) from None
-    return factory(**kwargs)
+    return HEALERS.make(spec, overrides=kwargs)

@@ -112,7 +112,9 @@ class SyncEngine:
     def step(self) -> int:
         """Advance one round, delivering everything due; returns count."""
         self.rounds_elapsed += 1
-        due = [item for item in self._pending if item[0] <= self.rounds_elapsed]
+        due = [
+            item for item in self._pending if item[0] <= self.rounds_elapsed
+        ]
         self._pending = [
             item for item in self._pending if item[0] > self.rounds_elapsed
         ]
@@ -149,7 +151,9 @@ class SyncEngine:
             return sum(counts.values())
         return counts.get(kind, 0)
 
-    def messages_received(self, node: Node, kind: MsgKind | None = None) -> int:
+    def messages_received(
+        self, node: Node, kind: MsgKind | None = None
+    ) -> int:
         counts = self.received_by_node.get(node, {})
         if kind is None:
             return sum(counts.values())

@@ -68,7 +68,9 @@ class DistributedNetwork:
         delivery order — asserted by the equivalence tests."""
         self.engine = SyncEngine(jitter=jitter, seed=jitter_seed)
         rng = make_rng(seed)
-        self.initial_ids: dict[Node, NodeId] = make_node_ids(graph.nodes(), rng)
+        self.initial_ids: dict[Node, NodeId] = make_node_ids(
+            graph.nodes(), rng
+        )
         self.processes: dict[Node, NodeProcess] = {}
         for u in graph.nodes():
             proc = NodeProcess(

@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
+from repro.registry import Registry
 from repro.utils.rng import make_rng
 
 __all__ = [
@@ -41,7 +41,9 @@ __all__ = [
 ]
 
 
-def preferential_attachment(n: int, m: int = 2, seed: int | None = None) -> Graph:
+def preferential_attachment(
+    n: int, m: int = 2, seed: int | None = None
+) -> Graph:
     """Barabási–Albert preferential-attachment graph on ``n`` nodes.
 
     This is the workload of the paper's experiments (Section 4.1, citing
@@ -115,7 +117,9 @@ def gnm_random(n: int, m: int, seed: int | None = None) -> Graph:
     """G(n, m) random graph: ``m`` distinct edges drawn uniformly."""
     max_edges = n * (n - 1) // 2
     if m > max_edges:
-        raise ConfigurationError(f"m={m} exceeds max edges {max_edges} for n={n}")
+        raise ConfigurationError(
+            f"m={m} exceeds max edges {max_edges} for n={n}"
+        )
     rng = make_rng(seed)
     g = Graph(range(n))
     added = 0
@@ -238,7 +242,9 @@ def complete_graph(n: int) -> Graph:
 def grid_graph(rows: int, cols: int) -> Graph:
     """``rows`` × ``cols`` 4-neighbor grid, nodes labelled row-major."""
     if rows < 1 or cols < 1:
-        raise ConfigurationError(f"grid needs rows, cols >= 1, got {rows}x{cols}")
+        raise ConfigurationError(
+            f"grid needs rows, cols >= 1, got {rows}x{cols}"
+        )
     g = Graph(range(rows * cols))
     for r in range(rows):
         for c in range(cols):
@@ -270,24 +276,33 @@ def watts_strogatz(n: int, k: int, p: float, seed: int | None = None) -> Graph:
         for j in range(1, k // 2 + 1):
             v = (u + j) % n
             if rng.random() < p and g.has_edge(u, v):
-                candidates = [w for w in range(n) if w != u and not g.has_edge(u, w)]
+                candidates = [
+                    w for w in range(n) if w != u and not g.has_edge(u, w)
+                ]
                 if candidates:
                     g.remove_edge(u, v)
                     g.add_edge(u, rng.choice(candidates))
     return g
 
 
-#: Name → factory registry used by the CLI and experiment specs.
-GENERATORS: dict[str, Callable[..., Graph]] = {
-    "preferential_attachment": preferential_attachment,
-    "erdos_renyi": erdos_renyi,
-    "gnm_random": gnm_random,
-    "random_tree": random_tree,
-    "complete_kary_tree": complete_kary_tree,
-    "path": path_graph,
-    "cycle": cycle_graph,
-    "star": star_graph,
-    "complete": complete_graph,
-    "grid": grid_graph,
-    "watts_strogatz": watts_strogatz,
-}
+#: Name → factory registry used by the CLI and experiment specs (a
+#: :class:`~repro.registry.Registry`: spec strings like
+#: ``"erdos_renyi:p=0.1"`` work anywhere a generator name does, and the
+#: sweep runner injects ``n``/``seed`` only where a factory accepts them).
+GENERATORS: Registry = Registry(
+    "generator",
+    {
+        "preferential_attachment": preferential_attachment,
+        "erdos_renyi": erdos_renyi,
+        "gnm_random": gnm_random,
+        "random_tree": random_tree,
+        "complete_kary_tree": complete_kary_tree,
+        "path": path_graph,
+        "cycle": cycle_graph,
+        "star": star_graph,
+        "complete": complete_graph,
+        "grid": grid_graph,
+        "watts_strogatz": watts_strogatz,
+    },
+    injected=("n", "seed"),
+)

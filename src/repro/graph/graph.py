@@ -71,7 +71,9 @@ class Graph:
         #: is ``None`` when the node is created, ``new_degree`` is ``None``
         #: when it is removed. One listener slot; the owner of the graph
         #: (the self-healing network) sets it.
-        self.degree_listener: Callable[[Node, int | None, int | None], None] | None = None
+        self.degree_listener: Callable[
+            [Node, int | None, int | None], None
+        ] | None = None
         for node in nodes:
             self.add_node(node)
 

@@ -25,7 +25,9 @@ def validate_graph(graph: Graph) -> None:
             if v == u:
                 raise InvariantViolation(f"self-loop on {u!r}")
             if not graph.has_node(v):
-                raise InvariantViolation(f"dangling endpoint {v!r} (from {u!r})")
+                raise InvariantViolation(
+                    f"dangling endpoint {v!r} (from {u!r})"
+                )
             if u not in graph.neighbors_view(v):
                 raise InvariantViolation(f"asymmetric edge ({u!r}, {v!r})")
             half_edges += 1

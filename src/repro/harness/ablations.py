@@ -25,7 +25,9 @@ __all__ = ["run_ablation_order", "run_ablation_components", "DEFAULT_SIZES"]
 DEFAULT_SIZES: tuple[int, ...] = (50, 100, 200, 350)
 
 
-def _spec(name: str, healers: tuple[str, ...], sizes, repetitions, master_seed):
+def _spec(
+    name: str, healers: tuple[str, ...], sizes, repetitions, master_seed
+):
     return ExperimentSpec(
         name=name,
         generator="preferential_attachment",

@@ -26,7 +26,6 @@ from repro.adversary import (
     NeighborOfMaxAttack,
     RandomWaveAttack,
     TargetedWaveAttack,
-    make_adversary,
 )
 from repro.analysis.theory import dash_degree_bound
 from repro.core.dash import Dash
@@ -43,7 +42,7 @@ from repro.graph.generators import (
 from repro.graph.traversal import is_connected
 from repro.harness.common import DEFAULT_SEED, FigureResult
 from repro.sim.metrics import CapacityMetric, ConnectivityMetric
-from repro.sim.simulator import run_simulation, run_wave_simulation
+from repro.sim.engine import run_campaign
 from repro.utils.rng import derive_seed, make_rng
 from repro.utils.stats import summarize
 from repro.utils.tables import format_table, write_csv
@@ -59,7 +58,12 @@ __all__ = [
 def run_capacity_collapse(
     n: int = 200,
     headrooms: Sequence[int] = (2, 4, 8),
-    healers: Sequence[str] = ("graph-heal", "binary-tree-heal", "dash", "sdash"),
+    healers: Sequence[str] = (
+        "graph-heal",
+        "binary-tree-heal",
+        "dash",
+        "sdash",
+    ),
     repetitions: int = 10,
     *,
     master_seed: int = DEFAULT_SEED,
@@ -74,10 +78,12 @@ def run_capacity_collapse(
             gseed = derive_seed(master_seed, "cap", n, rep)
             for h in healers:
                 graph = preferential_attachment(n, 2, seed=gseed)
-                res = run_simulation(
+                res = run_campaign(
                     graph,
                     make_healer(h),
-                    NeighborOfMaxAttack(seed=derive_seed(master_seed, "capa", rep)),
+                    NeighborOfMaxAttack(
+                        seed=derive_seed(master_seed, "capa", rep)
+                    ),
                     id_seed=derive_seed(master_seed, "capi", rep),
                     metrics=[CapacityMetric(headroom=headroom)],
                 )
@@ -112,7 +118,9 @@ _TOPOLOGIES = {
     "ba(m=2)": lambda n, seed: preferential_attachment(n, 2, seed=seed),
     "er(p=8/n)": lambda n, seed: erdos_renyi(n, min(1.0, 8.0 / n), seed=seed),
     "random-tree": lambda n, seed: random_tree(n, seed=seed),
-    "grid": lambda n, seed: grid_graph(max(2, int(n**0.5)), max(2, int(n**0.5))),
+    "grid": lambda n, seed: grid_graph(
+        max(2, int(n**0.5)), max(2, int(n**0.5))
+    ),
     "small-world": lambda n, seed: watts_strogatz(n, 4, 0.2, seed=seed),
     "3-ary-tree": lambda n, seed: complete_kary_tree(3, 4),
 }
@@ -139,7 +147,7 @@ def run_topology_matrix(
             if not is_connected(graph):  # pragma: no cover - all are
                 continue
             actual_n = graph.num_nodes
-            res = run_simulation(
+            res = run_campaign(
                 graph,
                 Dash(),
                 NeighborOfMaxAttack(seed=seed + 1),
@@ -164,7 +172,14 @@ def run_topology_matrix(
         series=series,
     )
     fig.table = format_table(
-        ["topology", "n", "worst peak δ", "mean peak δ", "2log2(n)", "connected"],
+        [
+            "topology",
+            "n",
+            "worst peak δ",
+            "mean peak δ",
+            "2log2(n)",
+            "connected",
+        ],
         rows,
         title="Topology robustness matrix (DASH, NeighborOfMax, full kill)",
     )
@@ -231,15 +246,19 @@ def run_batch_waves(
     return fig
 
 
-_WAVE_SCHEDULES: dict[str, object] = {
-    "constant-4": ("constant", 4),
-    "constant-8": ("constant", 8),
-    "geometric-2x": ("geometric", 2, 2.0),
-    "fraction-10%": ("fraction", 0.1),
+#: wave-size schedules under test, as registry spec strings (see
+#: :data:`repro.adversary.waves.WAVE_SCHEDULES`)
+_WAVE_SCHEDULES: dict[str, str] = {
+    "constant-4": "constant:4",
+    "constant-8": "constant:8",
+    "geometric-2x": "geometric:initial=2,ratio=2.0",
+    "fraction-10%": "fraction:0.1",
 }
 
 _WAVE_ADVERSARIES = {
-    "random-wave": lambda schedule, seed: RandomWaveAttack(schedule, seed=seed),
+    "random-wave": lambda schedule, seed: RandomWaveAttack(
+        schedule, seed=seed
+    ),
     "targeted-wave": lambda schedule, seed: TargetedWaveAttack(schedule),
 }
 
@@ -269,9 +288,11 @@ def run_wave_schedules(
             connected = True
             fast = slow = 0
             for rep in range(repetitions):
-                seed = derive_seed(master_seed, "wavesched", sched_name, adv_name, rep)
+                seed = derive_seed(
+                    master_seed, "wavesched", sched_name, adv_name, rep
+                )
                 graph = preferential_attachment(n, 2, seed=seed)
-                res = run_wave_simulation(
+                res = run_campaign(
                     graph,
                     Dash(),
                     factory(spec, seed + 1),

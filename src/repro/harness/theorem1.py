@@ -18,7 +18,11 @@ import math
 from pathlib import Path
 from typing import Sequence
 
-from repro.analysis.theory import dash_degree_bound, id_change_bound, message_bound
+from repro.analysis.theory import (
+    dash_degree_bound,
+    id_change_bound,
+    message_bound,
+)
 from repro.graph.generators import preferential_attachment
 from repro.harness.common import DEFAULT_SEED, FigureResult
 from repro.sim.experiment import ExperimentSpec, run_experiment
@@ -56,7 +60,8 @@ def run_theorem1(
         for n in xs
     ]
     id_meas = [
-        results.aggregate(("size",), "max_id_changes")[(n,)].maximum for n in xs
+        results.aggregate(("size",), "max_id_changes")[(n,)].maximum
+        for n in xs
     ]
     msg_meas = [
         results.aggregate(("size",), "max_messages")[(n,)].maximum for n in xs
@@ -68,7 +73,8 @@ def run_theorem1(
     # Message envelope uses the max initial degree of each instance family;
     # regenerate the graphs (cheap) to get a representative d_max.
     d_max = [
-        preferential_attachment(n, 2, seed=master_seed).max_degree() for n in xs
+        preferential_attachment(n, 2, seed=master_seed).max_degree()
+        for n in xs
     ]
 
     headers = [

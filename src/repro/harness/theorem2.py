@@ -20,7 +20,7 @@ from repro.core.naive import DegreeBoundedHealer
 from repro.graph.generators import complete_kary_tree, kary_tree_size
 from repro.harness.common import DEFAULT_SEED, FigureResult
 from repro.sim.metrics import ConnectivityMetric
-from repro.sim.simulator import run_simulation
+from repro.sim.engine import run_campaign
 from repro.utils.tables import format_table, write_csv
 
 __all__ = ["run_theorem2", "DEFAULT_DEPTHS"]
@@ -49,14 +49,14 @@ def run_theorem2(
     for depth in depths:
         n = kary_tree_size(branching, depth)
 
-        bounded_res = run_simulation(
+        bounded_res = run_campaign(
             complete_kary_tree(branching, depth),
             DegreeBoundedHealer(max_increase=max_increase),
             LevelAttack(branching),
             id_seed=master_seed,
             metrics=[ConnectivityMetric(period=5)],
         )
-        dash_res = run_simulation(
+        dash_res = run_campaign(
             complete_kary_tree(branching, depth),
             Dash(),
             LevelAttack(branching),

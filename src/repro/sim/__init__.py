@@ -1,7 +1,14 @@
-"""Simulation layer: the attack/heal loop, metrics, experiments, sweeps."""
+"""Simulation layer: the campaign engine, metrics, experiments, sweeps."""
 
-from repro.sim.experiment import ExperimentSpec, expand_tasks, run_experiment, run_task
+from repro.sim.engine import run_campaign
+from repro.sim.experiment import (
+    ExperimentSpec,
+    expand_tasks,
+    run_experiment,
+    run_task,
+)
 from repro.sim.metrics import (
+    METRICS,
     ComponentMetric,
     ConnectivityMetric,
     DegreeMetric,
@@ -21,13 +28,21 @@ from repro.sim.simulator import (
     run_wave_simulation,
 )
 from repro.sim.stretch import StretchComputer, StretchReport
-from repro.sim.trace import Trace, TraceRecorder, load_trace, replay_trace, save_trace
+from repro.sim.trace import (
+    Trace,
+    TraceRecorder,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
 
 __all__ = [
+    "run_campaign",
     "ExperimentSpec",
     "expand_tasks",
     "run_experiment",
     "run_task",
+    "METRICS",
     "ComponentMetric",
     "ConnectivityMetric",
     "DegreeMetric",

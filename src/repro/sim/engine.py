@@ -1,0 +1,203 @@
+"""The unified round-based campaign engine.
+
+The paper's methodology is one loop — "delete according to the deletion
+strategy; repair according to the self-healing strategy; measure the
+statistics" — and footnote 1 generalizes a round from a single victim to
+"the situation where any number of nodes are removed" at once. This
+module is that loop, once, for every entry point in the package:
+
+* an :class:`~repro.adversary.base.Adversary` yields *rounds* through
+  one protocol, :meth:`~repro.adversary.base.Adversary.choose_round` — a
+  sequence of victims deleted simultaneously (classic single-victim
+  strategies yield singletons; :class:`~repro.adversary.waves.WaveAdversary`
+  yields whole waves);
+* :func:`run_campaign` drives attack →
+  :meth:`~repro.core.network.SelfHealingNetwork.delete_batch_and_heal`
+  (or :meth:`~repro.core.network.SelfHealingNetwork.delete_and_heal` for
+  single-victim rounds) → metrics until a stop condition, and returns a
+  :class:`SimulationResult`.
+
+The legacy entry points :func:`~repro.sim.simulator.run_simulation` and
+:func:`~repro.sim.simulator.run_wave_simulation` are thin deprecated
+shims over this function and produce byte-identical results
+(differential-tested in ``tests/sim/test_campaign_engine.py`` against the
+pre-engine loops preserved in ``tests/sim/_seed_simulator.py``).
+
+Round accounting: each wave is deduplicated once *before* deletion (in
+first-appearance order), so ``result.deletions`` counts exactly the nodes
+that were removed; ``result.values["waves"]`` counts rounds for batch
+campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.adversary.base import Adversary
+from repro.core.base import Healer
+from repro.core.network import HealEvent, SelfHealingNetwork
+from repro.errors import ConfigurationError, SimulationError
+from repro.graph.graph import Graph
+from repro.sim.metrics import Metric
+
+__all__ = ["SimulationResult", "run_campaign"]
+
+Node = Hashable
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated attack campaign."""
+
+    initial_n: int
+    deletions: int
+    final_alive: int
+    #: max degree increase of any node at any time (Fig. 8's statistic)
+    peak_delta: int
+    #: merged outputs of every metric's ``finalize``
+    values: dict[str, float] = field(default_factory=dict)
+    #: per-round events (only when ``keep_events=True``)
+    events: list[HealEvent] | None = None
+    #: the final network (topology after the campaign)
+    network: SelfHealingNetwork | None = None
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+
+def run_campaign(
+    graph: Graph,
+    healer: Healer,
+    adversary: Adversary,
+    *,
+    id_seed: int = 0,
+    metrics: Sequence[Metric] = (),
+    stop_alive: int = 0,
+    max_rounds: int | None = None,
+    max_deletions: int | None = None,
+    check_invariants: bool = False,
+    keep_events: bool = False,
+    keep_network: bool = False,
+    batch_fast_path: bool = True,
+    batch_rounds: bool | None = None,
+) -> SimulationResult:
+    """Run one campaign: attack in rounds until exhaustion or a stop.
+
+    Parameters
+    ----------
+    graph:
+        Initial topology; **consumed** (mutated). Copy it first if needed.
+    healer, adversary:
+        The strategies under test. The adversary's
+        :meth:`~repro.adversary.base.Adversary.choose_round` is called
+        once per round.
+    id_seed:
+        Seed for the DASH node IDs (Algorithm 1, Init).
+    metrics:
+        Metric trackers; each observes every :class:`HealEvent` (batch
+        rounds emit one per victim component) and their ``finalize``
+        outputs merge into ``result.values`` (duplicate names raise).
+    stop_alive:
+        Stop once at most this many nodes survive (0 = delete everything,
+        the paper's default).
+    max_rounds:
+        Hard cap on rounds/waves (None = unlimited).
+    max_deletions:
+        Hard cap on deleted *nodes*, checked between rounds (None =
+        unlimited; a multi-victim round is never truncated mid-wave, so
+        a wave campaign may overshoot by up to one wave).
+    check_invariants:
+        Forwarded to :class:`SelfHealingNetwork` (paranoid mode).
+    keep_events / keep_network:
+        Retain the per-round event list / the final network on the result
+        (off by default to keep sweep memory flat).
+    batch_fast_path:
+        Forwarded to :class:`SelfHealingNetwork`; ``False`` forces the
+        tracker's honest traversal path for every batch round (the
+        reference side of the differential tests and benchmarks).
+    batch_rounds:
+        ``True`` routes rounds through ``delete_batch_and_heal`` (and
+        reports ``values["waves"]``); ``False`` heals each round's
+        victims with the single-victim machinery and requires singleton
+        rounds. ``None`` (default) follows the adversary's declared
+        :attr:`~repro.adversary.base.Adversary.batch_rounds` protocol
+        flag — the right choice everywhere outside differential tests.
+    """
+    if stop_alive < 0:
+        raise ConfigurationError(f"stop_alive must be >= 0, got {stop_alive}")
+    if max_rounds is not None and max_rounds < 0:
+        raise ConfigurationError(f"max_rounds must be >= 0, got {max_rounds}")
+    if max_deletions is not None and max_deletions < 0:
+        raise ConfigurationError(
+            f"max_deletions must be >= 0, got {max_deletions}"
+        )
+
+    network = SelfHealingNetwork(
+        graph,
+        healer,
+        seed=id_seed,
+        check_invariants=check_invariants,
+        batch_fast_path=batch_fast_path,
+    )
+    adversary.reset(network)
+    if batch_rounds is None:
+        batch_rounds = getattr(adversary, "batch_rounds", False)
+
+    rounds = 0
+    deletions = 0
+    while network.num_alive > stop_alive and network.num_alive > 0:
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        if max_deletions is not None and deletions >= max_deletions:
+            break
+        chosen = adversary.choose_round(network)
+        if not chosen:
+            break
+        # Dedupe once, in first-appearance order, before any deletion:
+        # what reaches the network is exactly what gets counted.
+        victims: list[Node] = []
+        seen: set[Node] = set()
+        for victim in chosen:
+            if not network.graph.has_node(victim):
+                raise SimulationError(
+                    f"adversary {adversary.name} chose dead node {victim!r}"
+                )
+            if victim not in seen:
+                seen.add(victim)
+                victims.append(victim)
+        if batch_rounds:
+            events = network.delete_batch_and_heal(victims)
+        else:
+            if len(victims) != 1:
+                raise SimulationError(
+                    f"adversary {adversary.name} yielded a "
+                    f"{len(victims)}-victim round but batch rounds are "
+                    "disabled"
+                )
+            events = [network.delete_and_heal(victims[0])]
+        rounds += 1
+        deletions += len(victims)
+        for metric in metrics:
+            for event in events:
+                metric.on_event(network, event)
+
+    values: dict[str, float] = {"waves": float(rounds)} if batch_rounds else {}
+    for metric in metrics:
+        out = metric.finalize(network)
+        overlap = values.keys() & out.keys()
+        if overlap:
+            raise ConfigurationError(
+                f"duplicate metric names: {sorted(overlap)}"
+            )
+        values.update(out)
+
+    return SimulationResult(
+        initial_n=network.initial_n,
+        deletions=deletions,
+        final_alive=network.num_alive,
+        peak_delta=network.peak_delta,
+        values=values,
+        events=list(network.events) if keep_events else None,
+        network=network if keep_network else None,
+    )

@@ -7,31 +7,45 @@ expands it to (size × healer × repetition) tasks, runs them (optionally
 across processes — see :mod:`repro.sim.parallel`), and returns a
 :class:`~repro.sim.results.ResultSet`.
 
+Every component field accepts a registry *spec string* (see
+:mod:`repro.registry`): ``healers=("dash", "degree-bounded:max_increase=3")``,
+``adversary="random-wave:size=8,schedule=geometric"``,
+``generator="erdos_renyi:p=0.1"``. Wave adversaries are first-class —
+each cell runs through the unified :func:`~repro.sim.engine.run_campaign`
+round loop, wave cells report ``values["waves"]`` plus a
+``wave_schedule`` result parameter, and ``max_waves`` bounds their round
+count. Specs are validated at construction (unknown names and unbindable
+arguments raise immediately, not inside a worker process).
+
 Seeding discipline: graph, ID, and attack seeds derive from
 ``(master_seed, size, repetition)`` but NOT from the healer, so every
 healer faces the *identical* graph instance and attack randomness at each
 repetition — a paired design that removes instance variance from the
-cross-healer comparisons the paper's figures make.
+cross-healer comparisons the paper's figures make. Seed *injection* is
+centralized in :meth:`repro.registry.Registry.make`: a derived seed
+reaches a component iff its factory takes a ``seed`` parameter and the
+spec didn't pin one.
 """
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
-from repro.adversary import make_adversary
-from repro.core.registry import make_healer
+from repro.adversary import ADVERSARIES
+from repro.core.registry import HEALERS
 from repro.errors import ConfigurationError
 from repro.graph.generators import GENERATORS
+from repro.sim.engine import run_campaign
 from repro.sim.metrics import (
+    METRICS,
     ConnectivityMetric,
     Metric,
     StretchMetric,
+    default_metric_names,
     default_metrics,
 )
 from repro.sim.results import ResultSet
-from repro.sim.simulator import run_simulation
 from repro.utils.rng import derive_seed
 
 __all__ = ["ExperimentSpec", "run_experiment", "run_task", "expand_tasks"]
@@ -39,17 +53,28 @@ __all__ = ["ExperimentSpec", "run_experiment", "run_task", "expand_tasks"]
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """Parameterization of one sweep (all fields picklable)."""
+    """Parameterization of one sweep (all fields picklable).
+
+    Component fields (``generator``, ``healers`` entries, ``adversary``,
+    ``extra_metrics`` entries) accept registry names or spec strings;
+    all are validated at construction.
+    """
 
     name: str
-    #: graph generator registry key (see repro.graph.generators.GENERATORS)
+    #: graph generator name or spec string (see
+    #: :data:`repro.graph.generators.GENERATORS`)
     generator: str = "preferential_attachment"
     #: extra generator kwargs (``n`` and ``seed`` are injected per task)
     generator_params: Mapping[str, object] = field(default_factory=dict)
     sizes: Sequence[int] = (100,)
     healers: Sequence[str] = ("dash",)
-    #: healer kwargs per healer name (optional)
-    healer_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    #: healer kwargs per healer entry (keyed by the exact string used in
+    #: ``healers``, spec suffix included)
+    healer_params: Mapping[str, Mapping[str, object]] = field(
+        default_factory=dict
+    )
+    #: adversary name or spec string — wave adversaries welcome
+    #: (``"random-wave:size=8,schedule=geometric"``)
     adversary: str = "neighbor-of-max"
     adversary_params: Mapping[str, object] = field(default_factory=dict)
     #: independent graph instances per (size, healer); the paper uses 30
@@ -57,73 +82,96 @@ class ExperimentSpec:
     master_seed: int = 2008
     #: stop once ≤ this many nodes survive (0 = total destruction)
     stop_alive: int = 0
+    #: node-deletion budget (checked between rounds)
     max_deletions: int | None = None
+    #: round budget for wave adversaries (None = unlimited)
+    max_waves: int | None = None
     #: connectivity-check cadence (rounds); 0 disables the check
     connectivity_period: int = 1
     measure_stretch: bool = False
     stretch_period: int = 1
     stretch_samples: int | None = None
     check_invariants: bool = False
+    #: additional metric spec strings (e.g. ``("components",
+    #: "capacity:headroom=2")``) appended to the default set
+    extra_metrics: Sequence[str] = ()
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
             raise ConfigurationError("repetitions must be >= 1")
-        if self.generator not in GENERATORS:
-            raise ConfigurationError(f"unknown generator {self.generator!r}")
         for n in self.sizes:
             if n < 2:
                 raise ConfigurationError(f"sizes must be >= 2, got {n}")
+        if self.stop_alive < 0:
+            raise ConfigurationError(
+                f"stop_alive must be >= 0, got {self.stop_alive}"
+            )
+        if self.max_deletions is not None and self.max_deletions < 0:
+            raise ConfigurationError(
+                f"max_deletions must be >= 0, got {self.max_deletions}"
+            )
+        if self.max_waves is not None and self.max_waves < 0:
+            raise ConfigurationError(
+                f"max_waves must be >= 0, got {self.max_waves}"
+            )
+        # Fail fast: a typo'd component name or argument should explode
+        # here, at construction, not deep inside a worker process.
+        GENERATORS.validate_spec(
+            self.generator,
+            overrides=self.generator_params,
+            reserved=("n",),
+        )
+        for healer in self.healers:
+            HEALERS.validate_spec(
+                healer, overrides=self.healer_params.get(healer, {})
+            )
+        adversary_name = ADVERSARIES.validate_spec(
+            self.adversary, overrides=self.adversary_params
+        )
+        if self.max_waves is not None and not getattr(
+            ADVERSARIES[adversary_name], "batch_rounds", False
+        ):
+            raise ConfigurationError(
+                f"max_waves is a round budget for wave adversaries; "
+                f"{self.adversary!r} is single-victim — use max_deletions"
+            )
+        # Metrics already in the run's base set would collide at finalize
+        # (duplicate value names) only after a full campaign — reject the
+        # known collisions here instead.
+        active = default_metric_names()
+        if self.connectivity_period > 0:
+            active.add("connectivity")
+        if self.measure_stretch:
+            active.add("stretch")
+        for metric in self.extra_metrics:
+            name = METRICS.validate_spec(metric)
+            if name in active:
+                raise ConfigurationError(
+                    f"extra metric {metric!r} duplicates the sweep's "
+                    f"always-on {name!r} metric"
+                )
+            active.add(name)
 
     def with_overrides(self, **kwargs) -> "ExperimentSpec":
         """A copy with fields replaced (for CLI --sizes/--reps overrides)."""
         return replace(self, **kwargs)
 
 
-def _accepts_seed(factory) -> bool:
-    try:
-        sig = inspect.signature(factory)
-    except (TypeError, ValueError):  # pragma: no cover - C factories
-        return False
-    return "seed" in sig.parameters
-
-
 def _build_graph(spec: ExperimentSpec, n: int, seed: int):
-    factory = GENERATORS[spec.generator]
-    kwargs = dict(spec.generator_params)
-    if _accepts_seed(factory):
-        kwargs.setdefault("seed", seed)
-    if "n" in inspect.signature(factory).parameters:
-        kwargs["n"] = n
-    return factory(**kwargs)
+    """Instantiate the spec's generator for one sweep cell: ``n`` is
+    forced (where the factory takes one) and the derived graph seed is
+    injected unless the spec pinned its own."""
+    return GENERATORS.make(
+        spec.generator,
+        seed=seed,
+        overrides=dict(spec.generator_params),
+        force={"n": n},
+    )
 
 
-def run_task(spec: ExperimentSpec, size: int, healer_name: str, rep: int) -> tuple[dict, dict]:
-    """Run one (size, healer, repetition) cell; returns (params, values).
-
-    Module-level and picklable so process pools can execute it.
-    """
-    graph_seed = derive_seed(spec.master_seed, spec.name, "graph", size, rep)
-    id_seed = derive_seed(spec.master_seed, spec.name, "ids", size, rep)
-    attack_seed = derive_seed(spec.master_seed, spec.name, "attack", size, rep)
-    stretch_seed = derive_seed(spec.master_seed, spec.name, "stretch", size, rep)
-
-    graph = _build_graph(spec, size, graph_seed)
-    original = graph.copy() if spec.measure_stretch else None
-
-    healer_kwargs = dict(spec.healer_params.get(healer_name, {}))
-    from repro.core.registry import HEALERS
-
-    if _accepts_seed(HEALERS[healer_name]):
-        healer_kwargs.setdefault("seed", id_seed)
-    healer = make_healer(healer_name, **healer_kwargs)
-
-    adv_kwargs = dict(spec.adversary_params)
-    from repro.adversary import ADVERSARIES
-
-    if _accepts_seed(ADVERSARIES[spec.adversary]):
-        adv_kwargs.setdefault("seed", attack_seed)
-    adversary = make_adversary(spec.adversary, **adv_kwargs)
-
+def _build_metrics(
+    spec: ExperimentSpec, original, stretch_seed: int
+) -> list[Metric]:
     metrics: list[Metric] = default_metrics()
     if spec.connectivity_period > 0:
         metrics.append(ConnectivityMetric(period=spec.connectivity_period))
@@ -137,14 +185,46 @@ def run_task(spec: ExperimentSpec, size: int, healer_name: str, rep: int) -> tup
                 seed=stretch_seed,
             )
         )
+    for metric_spec in spec.extra_metrics:
+        metrics.append(METRICS.make(metric_spec))
+    return metrics
 
-    result = run_simulation(
+
+def run_task(
+    spec: ExperimentSpec, size: int, healer_name: str, rep: int
+) -> tuple[dict, dict]:
+    """Run one (size, healer, repetition) cell; returns (params, values).
+
+    Module-level and picklable so process pools can execute it.
+    """
+    graph_seed = derive_seed(spec.master_seed, spec.name, "graph", size, rep)
+    id_seed = derive_seed(spec.master_seed, spec.name, "ids", size, rep)
+    attack_seed = derive_seed(spec.master_seed, spec.name, "attack", size, rep)
+    stretch_seed = derive_seed(
+        spec.master_seed, spec.name, "stretch", size, rep
+    )
+
+    graph = _build_graph(spec, size, graph_seed)
+    original = graph.copy() if spec.measure_stretch else None
+
+    healer = HEALERS.make(
+        healer_name,
+        seed=id_seed,
+        overrides=dict(spec.healer_params.get(healer_name, {})),
+    )
+    adversary = ADVERSARIES.make(
+        spec.adversary, seed=attack_seed, overrides=dict(spec.adversary_params)
+    )
+    metrics = _build_metrics(spec, original, stretch_seed)
+
+    result = run_campaign(
         graph,
         healer,
         adversary,
         id_seed=id_seed,
         metrics=metrics,
         stop_alive=spec.stop_alive,
+        max_rounds=spec.max_waves,
         max_deletions=spec.max_deletions,
         check_invariants=spec.check_invariants,
     )
@@ -155,13 +235,19 @@ def run_task(spec: ExperimentSpec, size: int, healer_name: str, rep: int) -> tup
         "adversary": spec.adversary,
         "rep": rep,
     }
+    if getattr(adversary, "batch_rounds", False):
+        params["wave_schedule"] = getattr(
+            adversary, "schedule_spec", "custom"
+        )
     values = dict(result.values)
     values["deletions"] = float(result.deletions)
     values["final_alive"] = float(result.final_alive)
     return params, values
 
 
-def expand_tasks(spec: ExperimentSpec) -> list[tuple[ExperimentSpec, int, str, int]]:
+def expand_tasks(
+    spec: ExperimentSpec
+) -> list[tuple[ExperimentSpec, int, str, int]]:
     """All (spec, size, healer, rep) cells of the sweep, in a cache-friendly
     order (largest sizes last so progress output front-loads fast cells)."""
     return [

@@ -15,6 +15,15 @@ Thm. 1 (latency)          :class:`LatencyMetric`
 connectivity invariant    :class:`ConnectivityMetric`
 healing edge budget       :class:`EdgeBudgetMetric`
 ========================  =====================================
+
+Every metric is registered in :data:`METRICS` (a
+:class:`~repro.registry.Registry`), so experiment specs and tests can
+name them as spec strings — ``"connectivity:period=4"``,
+``"capacity:headroom=2"`` — via
+:attr:`~repro.sim.experiment.ExperimentSpec.extra_metrics`.
+(``"stretch"`` is registered too but
+needs the pristine ``original`` graph; sweeps request it through
+``measure_stretch``, which supplies that copy.)
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from typing import TYPE_CHECKING
 
 from repro.graph.graph import Graph
 from repro.graph.traversal import connected_components, is_connected
+from repro.registry import Registry
 from repro.sim.stretch import StretchComputer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -31,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "Metric",
+    "METRICS",
     "DegreeMetric",
     "IdChangeMetric",
     "MessageMetric",
@@ -47,7 +58,9 @@ __all__ = [
 class Metric(abc.ABC):
     """Observes heal events; reports named scalar results."""
 
-    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+    def on_event(
+        self, network: "SelfHealingNetwork", event: "HealEvent"
+    ) -> None:
         """Called after each deletion+heal round."""
 
     @abc.abstractmethod
@@ -110,7 +123,9 @@ class LatencyMetric(Metric):
     def __init__(self) -> None:
         self._per_round: list[int] = []
 
-    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+    def on_event(
+        self, network: "SelfHealingNetwork", event: "HealEvent"
+    ) -> None:
         self._per_round.append(event.id_changes)
 
     def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
@@ -136,7 +151,9 @@ class ConnectivityMetric(Metric):
         self.first_disconnect: int | None = None
         self._round = 0
 
-    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+    def on_event(
+        self, network: "SelfHealingNetwork", event: "HealEvent"
+    ) -> None:
         self._round += 1
         if self.first_disconnect is not None:
             return
@@ -160,7 +177,9 @@ class ComponentMetric(Metric):
         self.max_components = 1
         self._round = 0
 
-    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+    def on_event(
+        self, network: "SelfHealingNetwork", event: "HealEvent"
+    ) -> None:
         self._round += 1
         if self._round % self.period == 0 and network.graph.num_nodes:
             c = len(connected_components(network.graph))
@@ -178,7 +197,9 @@ class EdgeBudgetMetric(Metric):
         self.total_new_in_g = 0
         self.max_per_round = 0
 
-    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+    def on_event(
+        self, network: "SelfHealingNetwork", event: "HealEvent"
+    ) -> None:
         planned = len(event.new_edges)
         self.total_planned += planned
         self.total_new_in_g += event.edges_added_to_g
@@ -230,7 +251,9 @@ class StretchMetric(Metric):
         self.ever_disconnected = False
         self._round = 0
 
-    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+    def on_event(
+        self, network: "SelfHealingNetwork", event: "HealEvent"
+    ) -> None:
         self._round += 1
         if self._round % self.period:
             return
@@ -247,7 +270,9 @@ class StretchMetric(Metric):
         return {
             "max_stretch": self.max_stretch,
             "last_stretch": self.last_stretch,
-            "stretch_ever_disconnected": 1.0 if self.ever_disconnected else 0.0,
+            "stretch_ever_disconnected": (
+                1.0 if self.ever_disconnected else 0.0
+            ),
         }
 
 
@@ -270,7 +295,9 @@ class CapacityMetric(Metric):
         self.collapsed_nodes = 0
         self._round = 0
 
-    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+    def on_event(
+        self, network: "SelfHealingNetwork", event: "HealEvent"
+    ) -> None:
         self._round += 1
         over = 0
         for u in event.participants:
@@ -296,6 +323,24 @@ class CapacityMetric(Metric):
         }
 
 
+#: Name → metric registry: one more pluggable component family, so
+#: "add a scenario statistic" is one ``register`` call and a spec string.
+METRICS: Registry = Registry(
+    "metric",
+    {
+        "degree": DegreeMetric,
+        "id-changes": IdChangeMetric,
+        "messages": MessageMetric,
+        "latency": LatencyMetric,
+        "connectivity": ConnectivityMetric,
+        "components": ComponentMetric,
+        "edge-budget": EdgeBudgetMetric,
+        "capacity": CapacityMetric,
+        "stretch": StretchMetric,
+    },
+)
+
+
 def default_metrics() -> list[Metric]:
     """The always-on metric set (everything except stretch, which needs
     the original graph and is costly)."""
@@ -306,3 +351,14 @@ def default_metrics() -> list[Metric]:
         LatencyMetric(),
         EdgeBudgetMetric(),
     ]
+
+
+def default_metric_names() -> set[str]:
+    """Registry names of the :func:`default_metrics` set (kept derived
+    so the fail-fast duplicate check in
+    :class:`~repro.sim.experiment.ExperimentSpec` cannot drift from the
+    actual defaults)."""
+    default_types = {type(m) for m in default_metrics()}
+    return {
+        name for name, factory in METRICS.items() if factory in default_types
+    }

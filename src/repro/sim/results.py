@@ -37,7 +37,9 @@ class ResultSet:
 
     rows: list[ResultRow] = field(default_factory=list)
 
-    def add(self, params: Mapping[str, object], values: Mapping[str, float]) -> None:
+    def add(
+        self, params: Mapping[str, object], values: Mapping[str, float]
+    ) -> None:
         self.rows.append(ResultRow(dict(params), dict(values)))
 
     def extend(self, other: "ResultSet") -> None:

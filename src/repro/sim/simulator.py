@@ -1,53 +1,28 @@
-"""The attack/heal simulation loop (Section 4.1's methodology).
+"""Deprecated per-shape simulation entry points (thin engine shims).
 
-    "Repeat while there are nodes in the graph: delete a single node
-    according to the deletion strategy; repair according to the
-    self-healing strategy; measure the statistics."
-
-:func:`run_simulation` wires a graph, a healer, an adversary, and a set of
-metrics into that loop and returns a :class:`SimulationResult`.
-:func:`run_wave_simulation` is the footnote-1 analogue: a
-:class:`~repro.adversary.waves.WaveAdversary` names whole waves of
-simultaneous victims, each healed by
-:meth:`~repro.core.network.SelfHealingNetwork.delete_batch_and_heal`.
+.. deprecated::
+    The attack/heal loop lives in :mod:`repro.sim.engine`;
+    :func:`run_simulation` and :func:`run_wave_simulation` survive as
+    thin delegating shims for existing callers and produce byte-identical
+    :class:`~repro.sim.engine.SimulationResult`\\ s (differential-tested
+    against the preserved pre-engine loops in
+    ``tests/sim/_seed_simulator.py``). New code should call
+    :func:`~repro.sim.engine.run_campaign`, which drives single-victim
+    and wave adversaries through one round protocol.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from typing import Sequence
 
 from repro.adversary.base import Adversary
 from repro.adversary.waves import WaveAdversary
 from repro.core.base import Healer
-from repro.core.network import HealEvent, SelfHealingNetwork
-from repro.errors import ConfigurationError, SimulationError
 from repro.graph.graph import Graph
+from repro.sim.engine import SimulationResult, run_campaign
 from repro.sim.metrics import Metric
 
 __all__ = ["SimulationResult", "run_simulation", "run_wave_simulation"]
-
-Node = Hashable
-
-
-@dataclass
-class SimulationResult:
-    """Outcome of one simulated attack campaign."""
-
-    initial_n: int
-    deletions: int
-    final_alive: int
-    #: max degree increase of any node at any time (Fig. 8's statistic)
-    peak_delta: int
-    #: merged outputs of every metric's ``finalize``
-    values: dict[str, float] = field(default_factory=dict)
-    #: per-round events (only when ``keep_events=True``)
-    events: list[HealEvent] | None = None
-    #: the final network (topology after the campaign)
-    network: SelfHealingNetwork | None = None
-
-    def __getitem__(self, key: str) -> float:
-        return self.values[key]
 
 
 def run_simulation(
@@ -63,76 +38,25 @@ def run_simulation(
     keep_events: bool = False,
     keep_network: bool = False,
 ) -> SimulationResult:
-    """Run one campaign: attack until exhaustion (or a stop condition).
+    """One single-victim-per-round campaign (deprecated shim).
 
-    Parameters
-    ----------
-    graph:
-        Initial topology; **consumed** (mutated). Copy it first if needed.
-    healer, adversary:
-        The strategies under test.
-    id_seed:
-        Seed for the DASH node IDs (Algorithm 1, Init).
-    metrics:
-        Metric trackers; their ``finalize`` outputs merge into
-        ``result.values`` (duplicate names raise).
-    stop_alive:
-        Stop once at most this many nodes survive (0 = delete everything,
-        the paper's default).
-    max_deletions:
-        Hard cap on rounds (None = unlimited).
-    check_invariants:
-        Forwarded to :class:`SelfHealingNetwork` (paranoid mode).
-    keep_events / keep_network:
-        Retain the per-round event list / the final network on the result
-        (off by default to keep sweep memory flat).
+    Equivalent to :func:`~repro.sim.engine.run_campaign` with
+    ``batch_rounds=False``: every round the adversary names one victim
+    and ``max_deletions`` caps the number of rounds. Prefer
+    ``run_campaign``, which accepts any adversary.
     """
-    if stop_alive < 0:
-        raise ConfigurationError(f"stop_alive must be >= 0, got {stop_alive}")
-    if max_deletions is not None and max_deletions < 0:
-        raise ConfigurationError(
-            f"max_deletions must be >= 0, got {max_deletions}"
-        )
-
-    network = SelfHealingNetwork(
-        graph, healer, seed=id_seed, check_invariants=check_invariants
-    )
-    adversary.reset(network)
-
-    deletions = 0
-    while network.num_alive > max(stop_alive, 0) and network.num_alive > 0:
-        if max_deletions is not None and deletions >= max_deletions:
-            break
-        victim = adversary.choose_target(network)
-        if victim is None:
-            break
-        if not network.graph.has_node(victim):
-            raise SimulationError(
-                f"adversary {adversary.name} chose dead node {victim!r}"
-            )
-        event = network.delete_and_heal(victim)
-        deletions += 1
-        for metric in metrics:
-            metric.on_event(network, event)
-
-    values: dict[str, float] = {}
-    for metric in metrics:
-        out = metric.finalize(network)
-        overlap = values.keys() & out.keys()
-        if overlap:
-            raise ConfigurationError(
-                f"duplicate metric names: {sorted(overlap)}"
-            )
-        values.update(out)
-
-    return SimulationResult(
-        initial_n=network.initial_n,
-        deletions=deletions,
-        final_alive=network.num_alive,
-        peak_delta=network.peak_delta,
-        values=values,
-        events=list(network.events) if keep_events else None,
-        network=network if keep_network else None,
+    return run_campaign(
+        graph,
+        healer,
+        adversary,
+        id_seed=id_seed,
+        metrics=metrics,
+        stop_alive=stop_alive,
+        max_deletions=max_deletions,
+        check_invariants=check_invariants,
+        keep_events=keep_events,
+        keep_network=keep_network,
+        batch_rounds=False,
     )
 
 
@@ -150,69 +74,26 @@ def run_wave_simulation(
     keep_network: bool = False,
     batch_fast_path: bool = True,
 ) -> SimulationResult:
-    """Run one *wave* campaign: simultaneous multi-victim rounds.
+    """One wave-per-round campaign (deprecated shim).
 
-    The footnote-1 analogue of :func:`run_simulation`: every round the
-    adversary names a whole wave of victims, all removed at once and
+    Equivalent to :func:`~repro.sim.engine.run_campaign` with
+    ``batch_rounds=True``: every round the adversary names a whole wave,
     healed per victim component by
-    :meth:`~repro.core.network.SelfHealingNetwork.delete_batch_and_heal`.
-    Metrics see one ``on_event`` call per victim component (the events a
-    batch heal emits). ``result.deletions`` counts deleted *nodes*;
-    ``result.values["waves"]`` counts waves. ``batch_fast_path=False``
-    forces the tracker's honest traversal path for every wave (the
-    reference side of the differential tests and like-for-like benches);
-    the remaining parameters match :func:`run_simulation`.
+    :meth:`~repro.core.network.SelfHealingNetwork.delete_batch_and_heal`;
+    ``max_waves`` caps rounds, ``result.deletions`` counts deleted nodes,
+    and ``result.values["waves"]`` counts waves. Prefer ``run_campaign``.
     """
-    if stop_alive < 0:
-        raise ConfigurationError(f"stop_alive must be >= 0, got {stop_alive}")
-    if max_waves is not None and max_waves < 0:
-        raise ConfigurationError(f"max_waves must be >= 0, got {max_waves}")
-
-    network = SelfHealingNetwork(
+    return run_campaign(
         graph,
         healer,
-        seed=id_seed,
+        adversary,
+        id_seed=id_seed,
+        metrics=metrics,
+        stop_alive=stop_alive,
+        max_rounds=max_waves,
         check_invariants=check_invariants,
+        keep_events=keep_events,
+        keep_network=keep_network,
         batch_fast_path=batch_fast_path,
-    )
-    adversary.reset(network)
-
-    waves = 0
-    deletions = 0
-    while network.num_alive > stop_alive:
-        if max_waves is not None and waves >= max_waves:
-            break
-        wave = adversary.choose_wave(network)
-        if not wave:
-            break
-        for victim in wave:
-            if not network.graph.has_node(victim):
-                raise SimulationError(
-                    f"adversary {adversary.name} chose dead node {victim!r}"
-                )
-        events = network.delete_batch_and_heal(wave)
-        waves += 1
-        deletions += len(set(wave))
-        for metric in metrics:
-            for event in events:
-                metric.on_event(network, event)
-
-    values: dict[str, float] = {"waves": float(waves)}
-    for metric in metrics:
-        out = metric.finalize(network)
-        overlap = values.keys() & out.keys()
-        if overlap:
-            raise ConfigurationError(
-                f"duplicate metric names: {sorted(overlap)}"
-            )
-        values.update(out)
-
-    return SimulationResult(
-        initial_n=network.initial_n,
-        deletions=deletions,
-        final_alive=network.num_alive,
-        peak_delta=network.peak_delta,
-        values=values,
-        events=list(network.events) if keep_events else None,
-        network=network if keep_network else None,
+        batch_rounds=True,
     )

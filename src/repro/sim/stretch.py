@@ -120,13 +120,17 @@ class StretchComputer:
         return _stretch_from_matrices(d_now, d_orig)
 
 
-def _stretch_from_matrices(d_now: np.ndarray, d_orig: np.ndarray) -> StretchReport:
+def _stretch_from_matrices(
+    d_now: np.ndarray, d_orig: np.ndarray
+) -> StretchReport:
     """Form the stretch statistics from aligned distance matrices."""
     # Pairs that were connected originally and are distinct nodes.
     originally = (d_orig > 0) & (d_orig != UNREACHABLE)
     now_reachable = (d_now > 0) & (d_now != UNREACHABLE)
     finite = originally & now_reachable
-    broken = int(np.count_nonzero(originally & ~now_reachable & (d_now == UNREACHABLE)))
+    broken = int(
+        np.count_nonzero(originally & ~now_reachable & (d_now == UNREACHABLE))
+    )
 
     n_pairs = int(np.count_nonzero(finite))
     if n_pairs == 0:
@@ -136,7 +140,9 @@ def _stretch_from_matrices(d_now: np.ndarray, d_orig: np.ndarray) -> StretchRepo
             pairs=0,
             disconnected_pairs=broken,
         )
-    ratios = d_now[finite].astype(np.float64) / d_orig[finite].astype(np.float64)
+    ratios = d_now[finite].astype(np.float64) / d_orig[finite].astype(
+        np.float64
+    )
     max_s = float(ratios.max())
     if broken:
         max_s = math.inf

@@ -28,7 +28,13 @@ from repro.sim.metrics import Metric
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.network import HealEvent, SelfHealingNetwork
 
-__all__ = ["Trace", "TraceRecorder", "save_trace", "load_trace", "replay_trace"]
+__all__ = [
+    "Trace",
+    "TraceRecorder",
+    "save_trace",
+    "load_trace",
+    "replay_trace",
+]
 
 
 @dataclass
@@ -56,7 +62,7 @@ class Trace:
 
 
 class TraceRecorder(Metric):
-    """Metric-shaped recorder; attach to ``run_simulation(metrics=[...])``.
+    """Metric-shaped recorder; attach to ``run_campaign(metrics=[...])``.
 
     Parameters
     ----------
@@ -79,7 +85,9 @@ class TraceRecorder(Metric):
             edges=edges,
         )
 
-    def on_event(self, network: "SelfHealingNetwork", event: "HealEvent") -> None:
+    def on_event(
+        self, network: "SelfHealingNetwork", event: "HealEvent"
+    ) -> None:
         self.trace.victims.append(event.deleted)
         self.trace.fingerprints.append(
             [event.plan_kind, len(event.new_edges), event.id_changes]
@@ -120,7 +128,9 @@ def load_trace(path: str | Path) -> Trace:
     )
 
 
-def replay_trace(trace: Trace, *, healer_name: str | None = None, verify: bool = True):
+def replay_trace(
+    trace: Trace, *, healer_name: str | None = None, verify: bool = True
+):
     """Re-execute a trace; returns the :class:`SimulationResult`.
 
     With ``verify=True`` (and the original healer) every round's
@@ -131,12 +141,12 @@ def replay_trace(trace: Trace, *, healer_name: str | None = None, verify: bool =
     """
     from repro.adversary.scripted import ScriptedAttack
     from repro.core.registry import make_healer
-    from repro.sim.simulator import run_simulation
+    from repro.sim.engine import run_campaign
 
     target_healer = healer_name or trace.healer
     check = verify and target_healer == trace.healer
 
-    result = run_simulation(
+    result = run_campaign(
         trace.initial_graph(),
         make_healer(target_healer),
         ScriptedAttack(trace.victims),
@@ -150,7 +160,8 @@ def replay_trace(trace: Trace, *, healer_name: str | None = None, verify: bool =
                 f"replay produced {len(result.events)} rounds, "
                 f"trace has {len(trace.fingerprints)}"
             )
-        for i, (event, fp) in enumerate(zip(result.events, trace.fingerprints)):
+        pairs = zip(result.events, trace.fingerprints)
+        for i, (event, fp) in enumerate(pairs):
             got = [event.plan_kind, len(event.new_edges), event.id_changes]
             if got != fp:
                 raise SimulationError(

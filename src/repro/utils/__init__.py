@@ -1,7 +1,13 @@
 """Shared utilities: deterministic RNG plumbing, statistics, tables, charts."""
 
 from repro.utils.rng import make_rng, spawn_seeds, derive_seed
-from repro.utils.stats import Summary, summarize, mean, sample_std, confidence_interval
+from repro.utils.stats import (
+    Summary,
+    confidence_interval,
+    mean,
+    sample_std,
+    summarize,
+)
 from repro.utils.tables import format_table, write_csv
 from repro.utils.ascii_chart import ascii_line_chart
 from repro.utils.timing import Timer

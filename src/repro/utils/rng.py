@@ -62,7 +62,9 @@ def spawn_seeds(master_seed: int, count: int, *labels: object) -> list[int]:
     return [derive_seed(master_seed, *labels, i) for i in range(count)]
 
 
-def choice_weighted(rng: random.Random, items: Sequence[object], weights: Iterable[float]):
+def choice_weighted(
+    rng: random.Random, items: Sequence[object], weights: Iterable[float]
+):
     """Pick one element of ``items`` with probability proportional to ``weights``.
 
     Thin deterministic wrapper over :meth:`random.Random.choices` returning

@@ -32,7 +32,9 @@ def sample_std(values: Sequence[float]) -> float:
     return math.sqrt(var)
 
 
-def confidence_interval(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+def confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> tuple[float, float]:
     """Normal-approximation confidence interval of the mean.
 
     ``z`` defaults to 1.96 (95%). For the 30-repetition experiments in the

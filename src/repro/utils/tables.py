@@ -49,10 +49,14 @@ def format_table(
     if title:
         out.write(title + "\n")
     out.write(sep + "\n")
-    out.write("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |\n")
+    out.write(
+        "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |\n"
+    )
     out.write(sep + "\n")
     for row in str_rows:
-        out.write("| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |\n")
+        out.write(
+            "| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |\n"
+        )
     out.write(sep)
     return out.getvalue()
 

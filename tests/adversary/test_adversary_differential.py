@@ -170,7 +170,9 @@ def test_full_kill_campaign_matches_scan(
     ids=[p[0] for p in ADVERSARY_PAIRS],
 )
 @pytest.mark.parametrize("healer_name", ["sdash", "graph-heal"])
-def test_other_healers_match_scan(adv_name, make_indexed, make_scan, healer_name):
+def test_other_healers_match_scan(
+    adv_name, make_indexed, make_scan, healer_name
+):
     """The equivalence is healer-independent (including the
     non-component-safe GraphHeal, whose heals reshape degrees freely)."""
     indexed_run = run_simulation(
@@ -219,7 +221,9 @@ def test_interleaved_batch_waves_match_scan(adv_name, make_indexed, make_scan):
         while net.num_alive > 4:
             if rng.random() < 0.3:
                 alive = sorted(net.graph.nodes())
-                wave = rng.sample(alive, min(len(alive) - 1, rng.randint(2, 4)))
+                wave = rng.sample(
+                    alive, min(len(alive) - 1, rng.randint(2, 4))
+                )
                 net.delete_batch_and_heal(wave)
                 victims.append(("wave", tuple(sorted(wave, key=repr))))
             else:

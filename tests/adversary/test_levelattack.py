@@ -12,7 +12,11 @@ from repro.core.dash import Dash
 from repro.core.naive import DegreeBoundedHealer
 from repro.core.network import SelfHealingNetwork
 from repro.errors import AdversaryError
-from repro.graph.generators import complete_kary_tree, kary_tree_size, path_graph
+from repro.graph.generators import (
+    complete_kary_tree,
+    kary_tree_size,
+    path_graph,
+)
 from repro.graph.traversal import is_connected
 from repro.sim.simulator import run_simulation
 
@@ -45,7 +49,9 @@ class TestPruneOrder:
 
 
 class TestLevelAttack:
-    @pytest.mark.parametrize("m,depth", [(1, 2), (1, 3), (1, 4), (2, 2), (2, 3)])
+    @pytest.mark.parametrize(
+        "m,depth", [(1, 2), (1, 3), (1, 4), (2, 2), (2, 3)]
+    )
     def test_forces_depth_delta_on_bounded_healer(self, m, depth):
         """Theorem 2: forced degree increase ≥ D on the (M+2)-ary tree."""
         branching = m + 2
@@ -75,7 +81,9 @@ class TestLevelAttack:
 
     def test_connectivity_maintained_throughout(self):
         g = complete_kary_tree(3, 3)
-        net = SelfHealingNetwork(g, DegreeBoundedHealer(max_increase=1), seed=0)
+        net = SelfHealingNetwork(
+            g, DegreeBoundedHealer(max_increase=1), seed=0
+        )
         adv = LevelAttack(3)
         adv.reset(net)
         while net.num_alive > 1:

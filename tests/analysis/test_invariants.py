@@ -93,7 +93,9 @@ class TestCheckers:
 
 
 class TestLemma10:
-    @pytest.mark.parametrize("healer_cls", [Dash, LineHeal], ids=["dash", "line"])
+    @pytest.mark.parametrize(
+        "healer_cls", [Dash, LineHeal], ids=["dash", "line"]
+    )
     def test_tree_deletion_degree_sum_is_d_minus_2(self, healer_cls):
         """Lemma 10: on a tree, a locality-aware acyclic heal of a degree-d
         deletion raises the ex-neighbors' total degree by exactly d−2."""
@@ -101,7 +103,9 @@ class TestLemma10:
         net = SelfHealingNetwork(g, healer_cls(), seed=9)
         rng = random.Random(4)
         for _ in range(20):
-            candidates = [u for u in net.graph.nodes() if net.graph.degree(u) >= 1]
+            candidates = [
+                u for u in net.graph.nodes() if net.graph.degree(u) >= 1
+            ]
             if not candidates:
                 break
             v = rng.choice(sorted(candidates))

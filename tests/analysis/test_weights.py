@@ -72,7 +72,9 @@ class TestWeightTransfer:
 
 
 class TestLemmas:
-    @pytest.mark.parametrize("healer_cls", [Dash, Sdash], ids=["dash", "sdash"])
+    @pytest.mark.parametrize(
+        "healer_cls", [Dash, Sdash], ids=["dash", "sdash"]
+    )
     def test_lemma4_and_5_hold_under_nms(self, healer_cls):
         g = preferential_attachment(50, 2, seed=4)
         net = SelfHealingNetwork(g, healer_cls(), seed=4)

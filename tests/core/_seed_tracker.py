@@ -410,7 +410,11 @@ class ComponentTracker:
             self.members.pop(lbl, None)
         for lbl, mem in new_members.items():
             existing = self.members.get(lbl)
-            if existing is not None and existing is not mem and existing != mem:
+            if (
+                existing is not None
+                and existing is not mem
+                and existing != mem
+            ):
                 raise SimulationError(f"label collision on {lbl!r}")
             self.members[lbl] = mem
         return total_changes, total_msgs

@@ -103,7 +103,9 @@ class TestKaryTreeEdges:
         assert g.max_degree() <= branching + 1
 
     def test_branching_one_is_path(self):
-        assert complete_tree_edges([1, 2, 3], branching=1) == path_edges([1, 2, 3])
+        assert complete_tree_edges(
+            [1, 2, 3], branching=1
+        ) == path_edges([1, 2, 3])
 
     def test_invalid_branching(self):
         with pytest.raises(ValueError):

@@ -105,7 +105,9 @@ class TestConnectivityGuarantee:
             lambda: watts_strogatz(40, 4, 0.2, seed=7),
             lambda: complete_kary_tree(3, 3),
         ],
-        ids=["ba", "er", "rtree", "cycle", "path", "grid", "star", "ws", "kary"],
+        ids=[
+            "ba", "er", "rtree", "cycle", "path", "grid", "star", "ws", "kary"
+        ],
     )
     @pytest.mark.parametrize(
         "adversary_factory",

@@ -136,7 +136,9 @@ class TestDegreeBoundedHealer:
         """The defining property: no node's degree grows by more than M in
         any single deletion+heal round."""
         g = complete_kary_tree(m + 2, 3)
-        net = SelfHealingNetwork(g, DegreeBoundedHealer(max_increase=m), seed=0)
+        net = SelfHealingNetwork(
+            g, DegreeBoundedHealer(max_increase=m), seed=0
+        )
         rng = random.Random(m)
         while net.num_alive > 1:
             before = {u: net.graph.degree(u) for u in net.graph.nodes()}
@@ -149,14 +151,22 @@ class TestDegreeBoundedHealer:
     @given(st.integers(0, 500))
     def test_property_connectivity(self, seed):
         g = preferential_attachment(20, 2, seed=seed)
-        net = SelfHealingNetwork(g, DegreeBoundedHealer(max_increase=1), seed=seed)
+        net = SelfHealingNetwork(
+            g, DegreeBoundedHealer(max_increase=1), seed=seed
+        )
         full_kill(net, RandomAttack(seed=seed), assert_connected=True)
 
 
 class TestComponentAwareForest:
     @pytest.mark.parametrize(
         "healer_cls",
-        [BinaryTreeHeal, LineHeal, StarHeal, RandomOrderDash, DegreeBoundedHealer],
+        [
+            BinaryTreeHeal,
+            LineHeal,
+            StarHeal,
+            RandomOrderDash,
+            DegreeBoundedHealer,
+        ],
         ids=lambda c: c.name,
     )
     def test_forest_invariant(self, healer_cls):

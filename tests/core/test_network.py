@@ -8,7 +8,11 @@ from repro.core.dash import Dash
 from repro.core.naive import NoHeal
 from repro.core.network import SelfHealingNetwork
 from repro.errors import NodeNotFoundError
-from repro.graph.generators import path_graph, preferential_attachment, star_graph
+from repro.graph.generators import (
+    path_graph,
+    preferential_attachment,
+    star_graph,
+)
 from repro.graph.graph import Graph
 
 

@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.core.base import Healer
-from repro.core.registry import HEALERS, PAPER_HEALERS, healer_names, make_healer
+from repro.core.registry import (
+    HEALERS,
+    PAPER_HEALERS,
+    healer_names,
+    make_healer,
+)
 from repro.errors import ConfigurationError
 
 

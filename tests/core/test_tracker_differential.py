@@ -60,7 +60,9 @@ class _swapped_tracker:
         network_module.ComponentTracker = UnionFindTracker
 
 
-def assert_equivalent(new_net: SelfHealingNetwork, seed_net: SelfHealingNetwork):
+def assert_equivalent(
+    new_net: SelfHealingNetwork, seed_net: SelfHealingNetwork
+):
     """Full-state equivalence between a union-find and a seed-tracker run."""
     assert len(new_net.events) == len(seed_net.events)
     for ev_new, ev_seed in zip(new_net.events, seed_net.events):

@@ -72,7 +72,9 @@ SCHEDULES = [
 ]
 
 
-def assert_equivalent(fast_net: SelfHealingNetwork, slow_net: SelfHealingNetwork):
+def assert_equivalent(
+    fast_net: SelfHealingNetwork, slow_net: SelfHealingNetwork
+):
     """Full-state equivalence between a fast-path and a traversal run."""
     assert len(fast_net.events) == len(slow_net.events)
     for ev_fast, ev_slow in zip(fast_net.events, slow_net.events):
@@ -201,7 +203,9 @@ def test_shared_dead_tree_forces_one_honest_round():
     net.delete_and_heal(5)
     net.delete_and_heal(3)
     assert net.tracker.slow_batch_rounds == 0
-    assert net.healing_graph.has_edge(4, 6) and net.healing_graph.has_edge(2, 4)
+    assert net.healing_graph.has_edge(
+        4, 6
+    ) and net.healing_graph.has_edge(2, 4)
     # 2 and 6 share that G′ tree but are not G-adjacent, so the wave has
     # two victim components claiming the same dead label.
     assert net.tracker.label_of(2) == net.tracker.label_of(6)

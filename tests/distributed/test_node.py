@@ -57,7 +57,9 @@ class TestStateHandling:
         proc, engine = make_node(label=0, neighbors=(1, 2))
         incoming = state_of(7, g_adj=(1,))
         proc.handle(
-            Message(MsgKind.STATE, src=1, dst=0, payload=incoming, forward=True)
+            Message(
+                MsgKind.STATE, src=1, dst=0, payload=incoming, forward=True
+            )
         )
         assert proc.known[7] == incoming
         # forwarded once to each neighbor except the sender and subject
@@ -102,7 +104,9 @@ class TestDeletionHandling:
         proc, _ = make_node(label=0, neighbors=(1,))
         ghost = state_of(42, g_adj=(0,))
         with pytest.raises(ProtocolError, match="non-neighbor"):
-            proc.handle(Message(MsgKind.DELETION, src=42, dst=0, payload=ghost))
+            proc.handle(
+                Message(MsgKind.DELETION, src=42, dst=0, payload=ghost)
+            )
 
     def test_missing_non_state_detected(self):
         """If the NoN tables lack a 2-hop peer, the protocol fails loudly
@@ -110,7 +114,9 @@ class TestDeletionHandling:
         proc, _ = make_node(label=0, neighbors=(9,))
         victim = state_of(9, g_adj=(0, 7))  # 7 unknown to us
         with pytest.raises(ProtocolError, match="lacks NoN state"):
-            proc.handle(Message(MsgKind.DELETION, src=9, dst=0, payload=victim))
+            proc.handle(
+                Message(MsgKind.DELETION, src=9, dst=0, payload=victim)
+            )
 
     def test_leaf_deletion_no_edges(self):
         proc, engine = make_node(label=0, neighbors=(9,))

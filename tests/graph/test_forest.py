@@ -5,7 +5,12 @@ from __future__ import annotations
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.graph.forest import count_trees, forest_excess_edges, is_forest, is_tree
+from repro.graph.forest import (
+    count_trees,
+    forest_excess_edges,
+    is_forest,
+    is_tree,
+)
 from repro.graph.generators import (
     complete_kary_tree,
     cycle_graph,

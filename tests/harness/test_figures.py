@@ -61,8 +61,12 @@ class TestTheorem1:
         fig = run_theorem1(sizes=(20, 40), repetitions=3)
         xs = fig.x_values
         for i, n in enumerate(xs):
-            assert fig.series["measured max δ"][i] <= fig.series["2log2(n)"][i]
-            assert fig.series["measured idΔ"][i] <= fig.series["2ln(n)"][i] + 1
+            assert (
+                fig.series["measured max δ"][i] <= fig.series["2log2(n)"][i]
+            )
+            assert (
+                fig.series["measured idΔ"][i] <= fig.series["2ln(n)"][i] + 1
+            )
 
 
 class TestTheorem2:
@@ -79,7 +83,9 @@ class TestTheorem2:
 class TestAblations:
     def test_order_ablation_runs(self):
         fig = run_ablation_order(sizes=(16,), repetitions=2)
-        assert set(fig.series) == {"dash", "dash-random-order", "binary-tree-heal"}
+        assert set(
+            fig.series
+        ) == {"dash", "dash-random-order", "binary-tree-heal"}
 
     def test_components_ablation_runs(self):
         fig = run_ablation_components(sizes=(16,), repetitions=2)

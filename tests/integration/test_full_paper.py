@@ -187,7 +187,8 @@ class TestEveryHealerEveryAttackSurvives:
         ],
     )
     @pytest.mark.parametrize(
-        "adversary_name", ["random", "max-node", "neighbor-of-max", "min-degree"]
+        "adversary_name",
+        ["random", "max-node", "neighbor-of-max", "min-degree"],
     )
     def test_survival(self, healer_name, adversary_name):
         from repro.adversary import make_adversary
@@ -197,7 +198,8 @@ class TestEveryHealerEveryAttackSurvives:
         g = preferential_attachment(30, 2, seed=5)
         kwargs = (
             {"seed": 9}
-            if "seed" in inspect.signature(ADVERSARIES[adversary_name]).parameters
+            if "seed"
+            in inspect.signature(ADVERSARIES[adversary_name]).parameters
             else {}
         )
         net = SelfHealingNetwork(g, make_healer(healer_name), seed=5)

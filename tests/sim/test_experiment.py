@@ -1,12 +1,24 @@
-"""Tests for experiment specs, seeding discipline, parallel execution."""
+"""Tests for experiment specs, seeding discipline, parallel execution,
+and first-class wave sweeps through the unified engine."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.adversary import ADVERSARIES
+from repro.core.registry import make_healer
 from repro.errors import ConfigurationError
-from repro.sim.experiment import ExperimentSpec, expand_tasks, run_experiment, run_task
+from repro.graph.generators import GENERATORS
+from repro.sim.experiment import (
+    ExperimentSpec,
+    expand_tasks,
+    run_experiment,
+    run_task,
+)
+from repro.sim.metrics import ConnectivityMetric, default_metrics
 from repro.sim.parallel import run_tasks
+from repro.sim.simulator import run_wave_simulation
+from repro.utils.rng import derive_seed
 
 
 def tiny_spec(**overrides) -> ExperimentSpec:
@@ -43,6 +55,83 @@ class TestSpecValidation:
         spec = tiny_spec().with_overrides(repetitions=5)
         assert spec.repetitions == 5
         assert spec.name == "tiny"
+
+    def test_unknown_healer_fails_at_construction(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            tiny_spec(healers=("dash", "nope"))
+
+    def test_unknown_adversary_fails_at_construction(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            tiny_spec(adversary="nope")
+
+    def test_bad_adversary_spec_argument(self):
+        with pytest.raises(ConfigurationError, match="invalid adversary"):
+            tiny_spec(adversary="random:bogus=1")
+
+    def test_bad_adversary_params(self):
+        with pytest.raises(ConfigurationError, match="invalid adversary"):
+            tiny_spec(adversary_params={"bogus": 1})
+
+    def test_bad_healer_params(self):
+        with pytest.raises(ConfigurationError, match="invalid healer"):
+            tiny_spec(healer_params={"dash": {"bogus": 1}})
+
+    def test_bad_generator_spec(self):
+        with pytest.raises(ConfigurationError, match="invalid generator"):
+            tiny_spec(generator="erdos_renyi:bogus=1")
+
+    def test_bad_extra_metric(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            tiny_spec(extra_metrics=("nope",))
+
+    def test_max_waves_rejected_for_single_victim_adversary(self):
+        with pytest.raises(ConfigurationError, match="wave adversaries"):
+            tiny_spec(adversary="random", max_waves=3)
+        # fine on a wave adversary
+        tiny_spec(adversary="random-wave:size=4", max_waves=3)
+
+    def test_duplicate_extra_metric_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="duplicates"):
+            tiny_spec(extra_metrics=("connectivity",))
+        with pytest.raises(ConfigurationError, match="duplicates"):
+            tiny_spec(extra_metrics=("degree",))
+        with pytest.raises(ConfigurationError, match="duplicates"):
+            tiny_spec(extra_metrics=("components", "components"))
+        # connectivity is only reserved while the periodic check is on
+        tiny_spec(
+            connectivity_period=0, extra_metrics=("connectivity:period=5",)
+        )
+
+    def test_spec_pinning_sweep_size_fails_at_construction(self):
+        # `n` is owned by the sweep (one value per cell); a generator
+        # spec pinning it would silently mislabel every result row.
+        with pytest.raises(ConfigurationError, match="supplied by the runtime"):
+            tiny_spec(generator="erdos_renyi:n=50,p=0.2")
+        with pytest.raises(ConfigurationError, match="supplied by the runtime"):
+            tiny_spec(generator_params={"n": 50})
+
+    def test_missing_required_argument_fails_at_construction(self):
+        with pytest.raises(ConfigurationError, match="missing required"):
+            tiny_spec(adversary="scripted")  # sequence is required
+        with pytest.raises(ConfigurationError, match="missing required"):
+            tiny_spec(generator="grid")  # rows/cols required, n ignored
+        with pytest.raises(ConfigurationError, match="missing required"):
+            tiny_spec(extra_metrics=("stretch",))  # needs `original`
+
+    def test_negative_budgets(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(max_deletions=-1)
+        with pytest.raises(ConfigurationError):
+            tiny_spec(max_waves=-1)
+        with pytest.raises(ConfigurationError):
+            tiny_spec(stop_alive=-1)
+
+    def test_spec_string_components_validate(self):
+        tiny_spec(
+            generator="erdos_renyi:p=0.3",
+            healers=("dash", "degree-bounded:max_increase=3"),
+            adversary="random-wave:size=4,schedule=geometric",
+        )
 
 
 class TestExpansion:
@@ -114,3 +203,95 @@ class TestParallel:
 
     def test_empty_tasks(self):
         assert run_tasks([], jobs=2) == []
+
+
+def wave_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="wavy",
+        sizes=(20, 28),
+        healers=("dash", "sdash", "line-heal"),
+        adversary="random-wave:size=5",
+        repetitions=2,
+        master_seed=41,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestWaveSweeps:
+    """Wave campaigns are first-class citizens of run_experiment."""
+
+    def test_rows_carry_wave_fields(self):
+        rs = run_experiment(wave_spec())
+        assert len(rs) == 2 * 3 * 2
+        for row in rs.rows:
+            assert row.params["adversary"] == "random-wave:size=5"
+            assert row.params["wave_schedule"] == "constant:size=5"
+            assert row.values["waves"] >= 1.0
+            assert row.values["always_connected"] == 1.0
+
+    def test_max_waves_bounds_rounds(self):
+        rs = run_experiment(wave_spec(max_waves=2, sizes=(20,)))
+        for row in rs.rows:
+            assert row.values["waves"] == 2.0
+            assert row.values["deletions"] == 10.0
+
+    def test_sweep_matches_direct_wave_simulation(self):
+        """Byte-identity: every cell of a process-parallel wave sweep
+        equals a direct run_wave_simulation call with the same derived
+        seeds and a hand-built adversary."""
+        spec = wave_spec(adversary="random-wave:size=4,schedule=geometric")
+        rs = run_experiment(spec, jobs=2)
+        assert len(rs) == 2 * 3 * 2
+        for row in rs.rows:
+            size = row.params["size"]
+            rep = row.params["rep"]
+            healer_name = row.params["healer"]
+            graph_seed = derive_seed(
+                spec.master_seed, spec.name, "graph", size, rep
+            )
+            id_seed = derive_seed(
+                spec.master_seed, spec.name, "ids", size, rep
+            )
+            attack_seed = derive_seed(
+                spec.master_seed, spec.name, "attack", size, rep
+            )
+            direct = run_wave_simulation(
+                GENERATORS.make(
+                    spec.generator, seed=graph_seed, force={"n": size}
+                ),
+                make_healer(healer_name),
+                ADVERSARIES.make(
+                    "random-wave:size=4,schedule=geometric", seed=attack_seed
+                ),
+                id_seed=id_seed,
+                metrics=default_metrics() + [ConnectivityMetric()],
+            )
+            expected = dict(direct.values)
+            expected["deletions"] = float(direct.deletions)
+            expected["final_alive"] = float(direct.final_alive)
+            assert row.values == expected
+
+    def test_parallel_equals_serial_for_waves(self):
+        tasks = expand_tasks(wave_spec())
+        assert run_tasks(tasks, jobs=1) == run_tasks(tasks, jobs=2)
+
+
+class TestExtraMetrics:
+    def test_extra_metric_spec_collected(self):
+        spec = tiny_spec(
+            sizes=(12,), healers=("dash",), extra_metrics=("components",)
+        )
+        rs = run_experiment(spec)
+        for row in rs.rows:
+            assert row.values["max_components"] >= 1.0
+
+    def test_extra_metric_with_arguments(self):
+        spec = tiny_spec(
+            sizes=(12,),
+            healers=("dash",),
+            extra_metrics=("capacity:headroom=2",),
+        )
+        rs = run_experiment(spec)
+        for row in rs.rows:
+            assert "first_collapse_step" in row.values

@@ -7,7 +7,11 @@ import math
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.graph.generators import cycle_graph, path_graph, preferential_attachment
+from repro.graph.generators import (
+    cycle_graph,
+    path_graph,
+    preferential_attachment,
+)
 from repro.graph.graph import Graph
 from repro.sim.stretch import StretchComputer
 
@@ -94,7 +98,9 @@ class TestSampledStretch:
     def test_sample_larger_than_alive_falls_back_to_exact(self):
         g = path_graph(5)
         exact = StretchComputer(g).measure(g.copy())
-        sampled = StretchComputer(g, sample_sources=100, seed=0).measure(g.copy())
+        sampled = StretchComputer(g, sample_sources=100, seed=0).measure(
+            g.copy()
+        )
         assert sampled == exact
 
     def test_invalid_sample_count(self):

@@ -10,7 +10,6 @@ from repro.errors import SimulationError
 from repro.graph.generators import preferential_attachment
 from repro.sim.simulator import run_simulation
 from repro.sim.trace import (
-    Trace,
     TraceRecorder,
     load_trace,
     replay_trace,

@@ -88,6 +88,66 @@ class TestCommands:
         assert rc == 2
         assert "--max-waves" in capsys.readouterr().err
 
+    def test_simulate_single_rejects_max_waves(self, capsys):
+        rc = main(
+            ["simulate", "--n", "30", "--adversary", "random",
+             "--max-waves", "2"]
+        )
+        assert rc == 2
+        assert "--max-deletions" in capsys.readouterr().err
+
+    def test_simulate_adversary_spec_string(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--n",
+                "40",
+                "--adversary",
+                "random-wave:size=5,schedule=constant",
+                "--max-waves",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "deletions        : 10" in out
+
+    def test_simulate_generator_spec_string(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--n",
+                "24",
+                "--generator",
+                "erdos_renyi:p=0.3",
+                "--adversary",
+                "random",
+            ]
+        )
+        assert rc == 0
+        assert "peak δ" in capsys.readouterr().out
+
+    def test_simulate_unknown_component_exits_2(self, capsys):
+        rc = main(["simulate", "--healer", "nope"])
+        assert rc == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_simulate_bad_spec_argument_exits_2(self, capsys):
+        rc = main(["simulate", "--adversary", "random:bogus=1"])
+        assert rc == 2
+        assert "random" in capsys.readouterr().err
+
+    def test_list_shows_all_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for family in (
+            "figures", "healers", "adversaries", "generators",
+            "wave schedules", "metrics",
+        ):
+            assert family in out
+        assert "geometric" in out
+        assert "connectivity" in out
+
     def test_figure_theorem2(self, capsys):
         rc = main(["figure", "theorem2", "--depths", "2", "--quiet"])
         assert rc == 0

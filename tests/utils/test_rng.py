@@ -11,7 +11,9 @@ class TestMakeRng:
     def test_same_seed_same_stream(self):
         a = make_rng(7)
         b = make_rng(7)
-        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+        assert [
+            a.random() for _ in range(10)
+        ] == [b.random() for _ in range(10)]
 
     def test_different_seed_different_stream(self):
         assert make_rng(1).random() != make_rng(2).random()
