@@ -12,7 +12,9 @@ bench job and fails the build if any hard-won speedup has slid back:
 * targeted attacks (PR 2): interleaved NMS campaign vs the preserved
   scan adversary — ≥ 2.5×;
 * wave healing (PR 3): interleaved √n-wave campaign vs the preserved
-  traversal path — ≥ 2×.
+  traversal path — ≥ 2×;
+* naive healing (PR 5): interleaved full-kill GraphHeal campaign under
+  lazy label invalidation vs the preserved eager BFS path — ≥ 2×.
 
 A missing workload is a failure too: the gate must never pass because a
 benchmark silently stopped recording.
@@ -49,6 +51,12 @@ GATES = [
         lambda e: e["speedup_vs_traversal"],
         2.0,
         "wave quotient fast path vs preserved traversal path (PR 3)",
+    ),
+    (
+        "campaign_graphheal_pa4000_m3",
+        lambda e: e["speedup_vs_eager"],
+        2.0,
+        "lazy-label naive healing vs preserved eager BFS path (PR 5)",
     ),
 ]
 

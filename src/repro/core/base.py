@@ -143,8 +143,11 @@ class ReconnectionPlan:
     ``component_safe`` declares that ``participants`` is exactly
     ``UN(v,G) ∪ N(v,G′)`` (one node per pre-round component plus every
     G′-neighbor), which unlocks the component tracker's traversal-free
-    merge path. Healers that rewire anything else (GraphHeal) must leave
-    it ``False``.
+    merge path unconditionally. Healers that rewire anything else
+    (GraphHeal) must leave it ``False``; their rounds still avoid the
+    eager per-round BFS under lazy label invalidation — the tracker
+    applies the same quotient merge whenever the plan covers every
+    G′-neighbor of the deleted node, and defers (dirty-set) otherwise.
     """
 
     #: nodes being rewired, in layout order (root first for trees)

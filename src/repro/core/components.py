@@ -44,16 +44,46 @@ and for multi-victim *batch* super-deletions
 (:meth:`ComponentTracker.fast_batch_round`, footnote 1's wave regime):
 the quotient graph has one vertex per G′-neighbor-piece of each dead
 tree plus one per surviving participant class, and every quotient class
-becomes one union-find merge. For arbitrary healers (GraphHeal adds
-cycles; NoHeal adds nothing) and whenever a wave round's preconditions
-fail (a dead tree shared between victim components, a participant inside
-another victim component's shattered tree, or a plan that leaves one
-pre-round class spread over several quotient classes), a BFS over the
-affected region recomputes components honestly — including persistent
-splits, which the paper's model never needs but a library must survive —
-and then routes through the same union-find apply step
+becomes one union-find merge.
+
+Lazy label invalidation (non-component-safe plans)
+--------------------------------------------------
+Arbitrary healers (GraphHeal adds cycles; NoHeal adds nothing) used to
+force an eager BFS over the whole affected region every round — the last
+quadratic path in full-kill naive-baseline campaigns. With ``lazy=True``
+(the :class:`~repro.core.network.SelfHealingNetwork` default, riding the
+same switch as the batch fast path) a non-component-safe round is
+resolved in one of two traversal-free ways:
+
+* **unsafe quotient merge** — when the plan's rewires cover every
+  shattered piece of the dead tree (``N(v,G′) ⊆ participants``, true for
+  every registered naive healer) and each pre-round class lands wholly in
+  one quotient class, the same quotient merge as the component-safe path
+  applies, with accounting byte-identical to the eager BFS
+  (differential-tested); a participant now stands for its whole recorded
+  class even under a non-component-safe plan, which is exact because the
+  unity check defers anything that would split a class;
+* **deferral** — otherwise the touched classes are marked *dirty* (a
+  dirty-set keyed by union-find representatives) and the round returns
+  zero-cost stats. Labels are recomputed on demand: the first query
+  (:meth:`label_of`, :meth:`labels`, :meth:`components`, an invariant
+  check, a metrics probe) or component-safe/batch round that touches
+  pending state triggers :meth:`resolve_labels`, one BFS sweep over the
+  accumulated dirty region routed through the shared apply step —
+  batching consecutive deferred naive rounds into a single relabelling.
+
+With ``lazy=False`` (direct tracker construction, and the network's
+``batch_fast_path=False`` reference configuration) every
+non-component-safe round takes the preserved eager BFS, and whenever a
+wave round's preconditions fail (a dead tree shared between victim
+components, a participant inside another victim component's shattered
+tree, or a plan that leaves one pre-round class spread over several
+quotient classes) the honest traversal recomputes components — including
+persistent splits, which the paper's model never needs but a library
+must survive — and then routes through the same union-find apply step
 (:meth:`ComponentTracker._apply_rebuild`). ``check_consistency`` stays a
-full-BFS ground-truth check, used by tests and paranoid-mode runs.
+full-BFS ground-truth check (forcing resolution first), used by tests
+and paranoid-mode runs.
 """
 
 from __future__ import annotations
@@ -126,6 +156,12 @@ class ComponentTracker:
     graph: Graph
     healing_graph: Graph
     initial_ids: Mapping[Node, NodeId]
+    #: lazy label invalidation: non-component-safe rounds go through the
+    #: unsafe quotient merge or are deferred into the dirty-set instead
+    #: of the eager per-round BFS. Off by default so direct tracker users
+    #: keep the eager reference semantics; the network switches it on
+    #: together with the batch fast path.
+    lazy: bool = False
     id_changes: dict[Node, int] = field(init=False)
     messages_sent: dict[Node, int] = field(init=False)
     messages_received: dict[Node, int] = field(init=False)
@@ -133,16 +169,29 @@ class ComponentTracker:
     #: honest BFS fallback (observability for tests and benchmarks)
     fast_batch_rounds: int = field(init=False, default=0)
     slow_batch_rounds: int = field(init=False, default=0)
+    #: single-victim rounds resolved by the quotient merge / the eager
+    #: BFS / lazily deferred (observability for tests and benchmarks)
+    fast_rounds: int = field(init=False, default=0)
+    slow_rounds: int = field(init=False, default=0)
+    deferred_rounds: int = field(init=False, default=0)
+    #: dirty-region sweeps performed by :meth:`resolve_labels`, and how
+    #: many of them uncovered a genuine component split (deferred rounds
+    #: report ``split=False``; this is where a deferred split surfaces)
+    lazy_resolutions: int = field(init=False, default=0)
+    resolved_splits: int = field(init=False, default=0)
     _parent: dict[Node, Node] = field(init=False, repr=False)
     _root_label: dict[Node, NodeId] = field(init=False, repr=False)
     _root_members: dict[Node, set[Node]] = field(init=False, repr=False)
     _label_root: dict[NodeId, Node] = field(init=False, repr=False)
+    #: class roots whose recorded structure is pending a lazy resolution
+    _dirty_roots: set[Node] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._parent = {u: u for u in self.initial_ids}
         self._root_label = dict(self.initial_ids)
         self._root_members = {u: {u} for u in self.initial_ids}
         self._label_root = {iid: u for u, iid in self.initial_ids.items()}
+        self._dirty_roots = set()
         self.id_changes = {u: 0 for u in self.initial_ids}
         self.messages_sent = {u: 0 for u in self.initial_ids}
         self.messages_received = {u: 0 for u in self.initial_ids}
@@ -161,15 +210,26 @@ class ComponentTracker:
         return root
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (all dirty-aware: a query that touches pending lazy state
+    # forces resolution first, so stale labels are never observable)
     # ------------------------------------------------------------------
-    def label_of(self, node: Node) -> NodeId:
+    def _resolved_root(self, node: Node) -> Node:
+        """Class root of ``node`` with pending lazy state settled (one
+        sweep iff the root is dirty). Raises if ``node`` was never
+        tracked; tombstone validation stays with the caller."""
         try:
             root = self._find(node)
-            members = self._root_members[root]
         except KeyError:
             raise SimulationError(f"node {node!r} is not tracked") from None
-        if node not in members:
+        if self._dirty_roots and root in self._dirty_roots:
+            self._resolve_dirty()
+            root = self._find(node)
+        return root
+
+    def label_of(self, node: Node) -> NodeId:
+        root = self._resolved_root(node)
+        members = self._root_members.get(root)
+        if members is None or node not in members:
             # A deleted node's tombstone still chains to a live root;
             # querying it must fail loudly, not leak the survivors' label.
             raise SimulationError(f"node {node!r} is not tracked")
@@ -178,41 +238,46 @@ class ComponentTracker:
     def labels_of(self, nodes: Iterable[Node]) -> dict[Node, NodeId]:
         """Bulk :meth:`label_of` — one dict build, skipping per-call
         dispatch on the snapshot hot path (every round labels the whole
-        deleted neighborhood)."""
+        deleted neighborhood; :meth:`_resolved_root` is inlined here for
+        the same reason)."""
         find = self._find
         root_label = self._root_label
         root_members = self._root_members
+        dirty = self._dirty_roots
         out: dict[Node, NodeId] = {}
         for u in nodes:
             try:
                 root = find(u)
-                members = root_members[root]
             except KeyError:
                 raise SimulationError(f"node {u!r} is not tracked") from None
-            if u not in members:
+            if dirty and root in dirty:
+                self._resolve_dirty()
+                root = find(u)
+            members = root_members.get(root)
+            if members is None or u not in members:
                 raise SimulationError(f"node {u!r} is not tracked")
             out[u] = root_label[root]
         return out
 
     def component_members(self, node: Node) -> frozenset[Node]:
         """All nodes sharing ``node``'s component label (i.e. its G′ component)."""
-        try:
-            root = self._find(node)
-            members = self._root_members[root]
-        except KeyError:
-            raise SimulationError(f"node {node!r} is not tracked") from None
-        if node not in members:
+        root = self._resolved_root(node)
+        members = self._root_members.get(root)
+        if members is None or node not in members:
             raise SimulationError(f"node {node!r} is not tracked")
         return frozenset(members)
 
     def num_components(self) -> int:
+        self.resolve_labels()
         return len(self._root_members)
 
     def total_messages(self) -> int:
+        self.resolve_labels()
         return sum(self.messages_sent.values())
 
     def labels(self) -> dict[Node, NodeId]:
         """Snapshot of every live node's component label. O(n)."""
+        self.resolve_labels()
         return {
             u: self._root_label[root]
             for root, mem in self._root_members.items()
@@ -221,10 +286,44 @@ class ComponentTracker:
 
     def components(self) -> dict[NodeId, frozenset[Node]]:
         """Snapshot {label: member set} of every live component. O(n)."""
+        self.resolve_labels()
         return {
             self._root_label[root]: frozenset(mem)
             for root, mem in self._root_members.items()
         }
+
+    # ------------------------------------------------------------------
+    # Lazy resolution
+    # ------------------------------------------------------------------
+    def resolve_labels(self) -> None:
+        """Settle any pending lazy relabelling (no-op when clean).
+
+        The on-demand half of lazy label invalidation: one BFS over the
+        union of all dirty classes, routed through the shared union-find
+        apply step. Merges adopt the minimum pre-deferral label; genuine
+        splits relabel each piece by minimum initial ID — and the batched
+        relabelling is charged to the id-change/message counters here,
+        amortizing consecutive deferred naive-healer rounds into a single
+        sweep.
+        """
+        if self._dirty_roots:
+            self._resolve_dirty()
+
+    def _resolve_dirty(self) -> None:
+        roots = [r for r in self._dirty_roots if r in self._root_members]
+        self._dirty_roots.clear()
+        self.lazy_resolutions += 1
+        if not roots:
+            return
+        affected, old_label = self._region_of(roots)
+        groups, group_labels = self._bfs_groups(affected, old_label)
+        claims: dict[NodeId, int] = {}
+        for labels in group_labels:
+            for lbl in labels:
+                claims[lbl] = claims.get(lbl, 0) + 1
+        if any(c > 1 for c in claims.values()):
+            self.resolved_splits += 1
+        self._apply_rebuild(groups, group_labels, old_label)
 
     def add_node(self, node: Node, node_id: NodeId) -> None:
         """Register ``node`` as a fresh singleton component (the network
@@ -271,6 +370,7 @@ class ComponentTracker:
         self._root_label = {}
         self._root_members = {}
         self._label_root = {}
+        self._dirty_roots.clear()  # canonical relabel supersedes deferrals
         for comp in connected_components(self.healing_graph):
             members = set(comp)
             root = next(iter(members))
@@ -305,8 +405,17 @@ class ComponentTracker:
         ``UN(v,G) ∪ N(v,G′)`` — one representative per pre-round component
         plus every G′-neighbor of the deleted node — enabling the
         traversal-free union-find merge path. The caller (the healer, via
-        the plan) vouches for this; the slow path is used otherwise.
+        the plan) vouches for this. Non-component-safe rounds take the
+        eager BFS, unless :attr:`lazy` is set — then they go through
+        :meth:`_lazy_round` (unsafe quotient merge or dirty-set deferral)
+        and never traverse.
         """
+        if component_safe and self._dirty_roots:
+            # A component-safe plan's participant classes must be true G′
+            # components; settle pending lazy relabelling first. (The
+            # caller's ``deleted_label`` came from a dirty-aware query,
+            # so it already reflects any resolution this triggers.)
+            self._resolve_dirty()
         # Remove the deleted node from its component's membership.
         self.remove_node(deleted, deleted_label)
 
@@ -316,8 +425,15 @@ class ComponentTracker:
                 plan_edges,
             )
             if stats is not None:
+                self.fast_rounds += 1
                 return stats
+        elif self.lazy:
+            return self._lazy_round(
+                deleted, deleted_label, participants, gprime_neighbors,
+                plan_edges,
+            )
 
+        self.slow_rounds += 1
         groups, group_labels, old_label, split = self._slow_groups(
             deleted_label, participants
         )
@@ -333,6 +449,51 @@ class ComponentTracker:
             components_after=len(groups),
             largest_component=max((len(g) for g in groups), default=0),
             split=split,
+        )
+
+    def _lazy_round(
+        self,
+        deleted: Node,
+        deleted_label: NodeId,
+        participants: Sequence[Node],
+        gprime_neighbors: frozenset[Node],
+        plan_edges: Sequence[tuple[Node, Node]],
+    ) -> RoundStats:
+        """Non-component-safe round under lazy labels — never traverses.
+
+        When the plan's rewires cover every shattered piece of the dead
+        tree (every G′-neighbor of the deleted node participates — true
+        for every registered naive healer: GraphHeal rewires all
+        G-neighbors ⊇ G′-neighbors, NoHeal's G′ has no edges at all) the
+        unsafe quotient merge resolves the round exactly, byte-identical
+        to the eager BFS. Otherwise the touched classes are marked dirty
+        and resolution is deferred to the next query or trusted round:
+        the round reports zero-cost stats (``split=False`` — a genuine
+        split surfaces at resolution time), and the batched relabelling
+        is charged by :meth:`resolve_labels`'s single sweep.
+        """
+        if not gprime_neighbors or gprime_neighbors.issubset(
+            set(participants)
+        ):
+            stats = self._fast_round(
+                deleted, deleted_label, participants, gprime_neighbors,
+                plan_edges,
+            )
+            if stats is not None:
+                self.fast_rounds += 1
+                return stats
+        self._dirty_roots.update(
+            self._collect_roots((deleted_label,), participants)
+        )
+        self.deferred_rounds += 1
+        return RoundStats(
+            deleted=deleted,
+            id_changes=0,
+            messages_sent=0,
+            components_merged=0,
+            components_after=0,
+            largest_component=0,
+            split=False,
         )
 
     def remove_node(self, node: Node, expected_label: NodeId) -> None:
@@ -378,8 +539,11 @@ class ComponentTracker:
         This method BFSes the affected region of G′ and routes the result
         through the same union-find apply step as every other round; it
         is the ground-truth slow path that :meth:`fast_batch_round` falls
-        back to (and is differential-tested against).
+        back to (and is differential-tested against). Forces resolution
+        of any pending lazy region first, so the pre-round labels the
+        charges are attributed against are never stale.
         """
+        self.resolve_labels()
         self.slow_batch_rounds += 1
         roots = self._collect_roots(affected_labels, participants)
         affected, old_label = self._region_of(roots)
@@ -447,7 +611,13 @@ class ComponentTracker:
         * the plan leaves one pre-round class spread over more than one
           quotient class — attributing members to individual pieces then
           needs a real traversal.
+
+        Like :meth:`_fast_round`, also serves non-component-safe wave
+        plans (the caller vouches that every G′-neighbor of the victims
+        participates, so every piece of every owned dead tree is
+        represented); forces resolution of any pending lazy region first.
         """
+        self.resolve_labels()
         if affected_labels & foreign_labels:
             return None
 
@@ -496,57 +666,31 @@ class ComponentTracker:
             if prev != q:
                 return None
 
-        total_changes = 0
-        total_msgs = 0
-        components_after = 0
-        largest = 0
-        merged_label_set: set[NodeId] = set()
-
         # A dead tree's class that survived earlier rounds untouched by
         # this plan: counted (the slow path's region includes it via its
         # label) but never traversed or relabelled.
+        untouched = 0
+        largest_untouched = 0
+        untouched_labels: set[NodeId] = set()
         for lbl in affected_labels:
             r = self._label_root.get(lbl)
             if r is not None and r not in owner:
-                components_after += 1
-                merged_label_set.add(lbl)
-                largest = max(largest, len(root_members[r]))
+                untouched += 1
+                untouched_labels.add(lbl)
+                largest_untouched = max(
+                    largest_untouched, len(root_members[r])
+                )
 
-        for reps in classes.values():
-            roots: list[Node] = []
-            seen_roots: set[Node] = set()
-            for u in reps:
-                r = proot[u]
-                if r not in seen_roots:
-                    seen_roots.add(r)
-                    roots.append(r)
-            if not roots:
-                continue
-            components_after += 1
-            for r in roots:
-                merged_label_set.add(root_label[r])
-
-            if len(roots) == 1:
-                largest = max(largest, len(root_members[roots[0]]))
-                continue
-
-            final = min(root_label[r] for r in roots)
-            for r in roots:
-                if root_label[r] != final:
-                    total_changes += len(root_members[r])
-                    total_msgs += self._charge_members(root_members[r])
-
-            big = max(roots, key=lambda r: len(root_members[r]))
-            big_set = root_members[big]
-            for r in roots:
-                del self._label_root[root_label[r]]
-                if r != big:
-                    self._parent[r] = big
-                    big_set |= root_members.pop(r)
-                    del root_label[r]
-            root_label[big] = final
-            self._label_root[final] = big
-            largest = max(largest, len(big_set))
+        (
+            total_changes,
+            total_msgs,
+            components_after,
+            largest,
+            merged_label_set,
+        ) = self._merge_quotient_classes(classes, proot)
+        components_after += untouched
+        largest = max(largest, largest_untouched)
+        merged_label_set |= untouched_labels
 
         self.fast_batch_rounds += 1
         return RoundStats(
@@ -562,6 +706,84 @@ class ComponentTracker:
     # ------------------------------------------------------------------
     # Fast path: merge union-find classes without touching their members
     # ------------------------------------------------------------------
+    def _merge_quotient_classes(
+        self,
+        classes: dict[Node, list[Node]],
+        proot: Mapping[Node, Node],
+    ) -> tuple[int, int, int, int, set[NodeId]]:
+        """Apply one union-find merge per quotient class.
+
+        ``classes`` maps each quotient root to its participant reps (in
+        participant order); ``proot`` maps each participant to its
+        persistent class root (a participant without an entry stands for
+        a class that died with the victims and is skipped). Each merge
+        adopts the minimum label and relabels (and charges messages to)
+        only members of classes whose label loses; member sets union
+        small-into-large. Returns ``(id_changes, messages_sent,
+        components_after, largest_component, merged_labels)``.
+
+        Shared by :meth:`_fast_round` and :meth:`fast_batch_round`: the
+        accounting must stay byte-identical to the eager BFS on both
+        paths, so there is exactly one copy of the merge-and-charge
+        loop.
+        """
+        root_members = self._root_members
+        root_label = self._root_label
+        total_changes = 0
+        total_msgs = 0
+        components_after = 0
+        largest = 0
+        merged_label_set: set[NodeId] = set()
+
+        for reps in classes.values():
+            # Distinct persistent classes merged by this quotient class.
+            roots: list[Node] = []
+            seen_roots: set[Node] = set()
+            for u in reps:
+                r = proot.get(u)
+                if r is None:
+                    continue
+                if r not in seen_roots:
+                    seen_roots.add(r)
+                    roots.append(r)
+            if not roots:
+                continue
+            components_after += 1
+            for r in roots:
+                merged_label_set.add(root_label[r])
+
+            if len(roots) == 1:
+                largest = max(largest, len(root_members[roots[0]]))
+                continue
+
+            final = min(root_label[r] for r in roots)
+            # Charge every member of every class whose label loses.
+            for r in roots:
+                if root_label[r] != final:
+                    total_changes += len(root_members[r])
+                    total_msgs += self._charge_members(root_members[r])
+
+            # Union: smaller member sets fold into the largest.
+            big = max(roots, key=lambda r: len(root_members[r]))
+            big_set = root_members[big]
+            for r in roots:
+                del self._label_root[root_label[r]]
+                if r != big:
+                    self._parent[r] = big
+                    big_set |= root_members.pop(r)
+                    del root_label[r]
+            root_label[big] = final
+            self._label_root[final] = big
+            largest = max(largest, len(big_set))
+
+        return (
+            total_changes,
+            total_msgs,
+            components_after,
+            largest,
+            merged_label_set,
+        )
+
     def _fast_round(
         self,
         deleted: Node,
@@ -570,10 +792,9 @@ class ComponentTracker:
         gprime_neighbors: frozenset[Node],
         plan_edges: Sequence[tuple[Node, Node]],
     ) -> RoundStats | None:
-        """Merge classes along the plan edges; returns None to defer to
-        the slow path when the plan leaves the deleted node's tree pieces
-        spread over more than one resulting component (attributing members
-        to individual pieces then needs a real traversal).
+        """Merge classes along the plan edges; returns None to defer
+        (slow path / lazy deferral) when the quotient structure cannot be
+        trusted without a traversal.
 
         Quotient vertices: each G′-neighbor of the deleted node stands for
         the piece of the deleted node's tree that contains it; each other
@@ -581,6 +802,17 @@ class ComponentTracker:
         connect quotient vertices; each resulting quotient class becomes
         one union-find merge, relabelling (and charging messages to) only
         members of classes whose label differs from the merged minimum.
+
+        Serves component-safe plans and — under :attr:`lazy` —
+        non-component-safe plans whose G′-neighbors all participate.
+        Defers when a persistent class would be spread over more than one
+        quotient class (for the dead tree that is the classic piece-unity
+        condition: attributing members to individual pieces needs a real
+        traversal; for a surviving class it guards non-component-safe
+        plans that name one class twice and then split it), when a
+        participant is untracked or dead (the eager path's region logic
+        handles those honestly), or when a participant sits in a pending
+        dirty region (its recorded member set cannot be trusted).
         """
         parent: dict[Node, Node] = {u: u for u in participants}
 
@@ -595,80 +827,55 @@ class ComponentTracker:
             if ra != rb:
                 parent[ra] = rb
 
-        classes: dict[Node, list[Node]] = {}
-        for u in participants:
-            classes.setdefault(find(u), []).append(u)
-
         old_root = self._label_root.get(deleted_label)
+        dirty = self._dirty_roots
+        root_members = self._root_members
 
-        if gprime_neighbors:
-            piece_classes = sum(
-                1
-                for reps in classes.values()
-                if any(u in gprime_neighbors for u in reps)
-            )
-            if piece_classes > 1:
+        # Persistent class of each participant (G′-neighbors map to the
+        # deleted node's tree, i.e. their piece's pre-round class).
+        proot: dict[Node, Node] = {}
+        for u in parent:
+            if u in gprime_neighbors:
+                r = old_root
+                if r is None:
+                    continue  # the deleted node's tree died with it
+            else:
+                try:
+                    r = self._find(u)
+                except KeyError:
+                    return None  # untracked participant
+                members = root_members.get(r)
+                if members is None or u not in members:
+                    return None  # dead participant (tombstone)
+            if dirty and r in dirty:
+                return None  # pending lazy region: structure unknown
+            proot[u] = r
+
+        # Unity check: every persistent class must land wholly inside one
+        # quotient class, else member attribution needs a traversal.
+        classes: dict[Node, list[Node]] = {}
+        owner: dict[Node, Node] = {}
+        for u in participants:
+            q = find(u)
+            classes.setdefault(q, []).append(u)
+            r = proot.get(u)
+            if r is not None and owner.setdefault(r, q) != q:
                 return None
 
-        total_changes = 0
-        total_msgs = 0
-        components_after = 0
-        largest = 0
-        placed_old = False
-        merged_label_set: set[NodeId] = set()
+        (
+            total_changes,
+            total_msgs,
+            components_after,
+            largest,
+            merged_label_set,
+        ) = self._merge_quotient_classes(classes, proot)
 
-        for reps in classes.values():
-            # Distinct persistent classes merged by this quotient class.
-            roots: list[Node] = []
-            seen_roots: set[Node] = set()
-            for u in reps:
-                if u in gprime_neighbors:
-                    r = old_root
-                    if r is None:
-                        continue  # the deleted node's tree died with it
-                else:
-                    r = self._find(u)
-                if r == old_root:
-                    placed_old = True
-                if r not in seen_roots:
-                    seen_roots.add(r)
-                    roots.append(r)
-            if not roots:
-                continue
-            components_after += 1
-            for r in roots:
-                merged_label_set.add(self._root_label[r])
-
-            if len(roots) == 1:
-                largest = max(largest, len(self._root_members[roots[0]]))
-                continue
-
-            final = min(self._root_label[r] for r in roots)
-            # Charge every member of every class whose label loses.
-            for r in roots:
-                if self._root_label[r] != final:
-                    total_changes += len(self._root_members[r])
-                    total_msgs += self._charge_members(self._root_members[r])
-
-            # Union: smaller member sets fold into the largest.
-            big = max(roots, key=lambda r: len(self._root_members[r]))
-            big_set = self._root_members[big]
-            for r in roots:
-                del self._label_root[self._root_label[r]]
-                if r != big:
-                    self._parent[r] = big
-                    big_set |= self._root_members.pop(r)
-                    del self._root_label[r]
-            self._root_label[big] = final
-            self._label_root[final] = big
-            largest = max(largest, len(big_set))
-
-        if old_root is not None and not placed_old:
+        if old_root is not None and old_root not in owner:
             # The deleted node's former tree is untouched by this round
             # (it had no G′-neighbor among the participants).
             components_after += 1
             merged_label_set.add(deleted_label)
-            largest = max(largest, len(self._root_members[old_root]))
+            largest = max(largest, len(root_members[old_root]))
 
         return RoundStats(
             deleted=deleted,
@@ -858,8 +1065,12 @@ class ComponentTracker:
         """Verify the union-find tables against BFS ground truth: member
         sets partition the live nodes, the label↔root indexes agree, and
         the tracked components match the true connected components of G′.
-        O(n + m); for tests and paranoid runs."""
+        Dirty-aware: forces resolution of any pending lazy region first
+        (an invariant check is a query). O(n + m); for tests and paranoid
+        runs."""
         from repro.graph.traversal import connected_components
+
+        self.resolve_labels()
 
         seen: set[Node] = set()
         for root, mem in self._root_members.items():

@@ -24,6 +24,18 @@ We additionally implement:
   increases any node's degree by more than M in one round (complete
   M-ary RT in ascending-δ order). This is the algorithm class that
   Theorem 2's LEVELATTACK defeats; the lower-bound experiments run it.
+
+Performance: the non-component-safe healers here (GraphHeal,
+DeltaOrderedGraphHeal, NoHeal) used to force an honest BFS over the
+affected region every round — O(region) per round, quadratic full-kill
+campaigns once the healed blob grows. Under the tracker's lazy label
+invalidation (the network default) their rounds resolve through the same
+traversal-free quotient merge as the component-safe healers: GraphHeal's
+rewire-everyone trees cover every shattered piece of the dead G′ tree,
+and NoHeal's G′ never has edges, so baseline sweeps now scale like DASH
+sweeps (byte-identical accounting vs. the preserved eager path —
+``benchmarks/bench_naive_healers.py`` and the differential suite in
+``tests/core/test_naive_fast_path.py``).
 """
 
 from __future__ import annotations

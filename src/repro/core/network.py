@@ -42,7 +42,19 @@ Node = Hashable
 
 @dataclass(frozen=True)
 class HealEvent:
-    """Everything observable about one deletion+heal round."""
+    """Everything observable about one deletion+heal round.
+
+    Accounting caveat: a non-component-safe round that the lazy tracker
+    *defers* (possible only for custom healers whose plan leaves some
+    G′-neighbor of the victim unrewired — never for the registered
+    healers) reports ``id_changes=0``, ``messages_sent=0`` and
+    ``split=False`` here; its batched relabelling is charged to the
+    tracker's per-node counters at resolution time, and a split
+    uncovered then increments
+    :attr:`~repro.core.components.ComponentTracker.resolved_splits`.
+    Force ``batch_fast_path=False`` for per-round-exact events under
+    such healers.
+    """
 
     step: int
     deleted: Node
@@ -76,11 +88,15 @@ class SelfHealingNetwork:
         healers) the Lemma 1 forest invariant. O(n+m) per round — meant
         for tests, not sweeps.
     batch_fast_path:
-        When True (default), :meth:`delete_batch_and_heal` resolves
-        component-safe wave heals with the tracker's traversal-free
-        quotient merge; when False every wave takes the honest BFS path
-        (the byte-identical reference the differential tests compare
-        against).
+        When True (default), :meth:`delete_batch_and_heal` resolves wave
+        heals with the tracker's traversal-free quotient merge, and the
+        tracker runs with lazy label invalidation — non-component-safe
+        single-victim rounds (GraphHeal and friends) go through the
+        unsafe quotient merge or are deferred into the dirty-set instead
+        of paying an eager per-round BFS. When False every
+        non-component-safe or wave round takes the honest BFS path (the
+        byte-identical eager reference the differential tests and
+        benchmarks compare against).
     """
 
     def __init__(
@@ -124,6 +140,13 @@ class SelfHealingNetwork:
             healing_graph=self.healing_graph,
             initial_ids=self.initial_ids,
         )
+        # Lazy label invalidation rides the same switch as the batch fast
+        # path: batch_fast_path=False is the preserved eager reference
+        # configuration. The seed-tracker differential tests swap in a
+        # tracker class without lazy labels; duck-type instead of
+        # assuming (as with fast_batch_round below).
+        if hasattr(self.tracker, "resolve_labels"):
+            self.tracker.lazy = batch_fast_path
         self.deleted_nodes: list[Node] = []
         self.events: list[HealEvent] = []
         self.peak_delta: int = 0
@@ -185,6 +208,14 @@ class SelfHealingNetwork:
 
     def label_of(self, node: Node) -> NodeId:
         return self.tracker.label_of(node)
+
+    def resolve_labels(self) -> None:
+        """Settle any pending lazy relabelling in the tracker (no-op for
+        eager trackers and clean state). Metrics probes and campaign
+        finalization call this before reading tracker accounting."""
+        resolve = getattr(self.tracker, "resolve_labels", None)
+        if resolve is not None:
+            resolve()
 
     @property
     def num_alive(self) -> int:
@@ -366,16 +397,20 @@ class SelfHealingNetwork:
         per healing-edge component plus every healing-edge neighbor of
         the victims.
 
-        Fast/slow path split: a component-safe victim-component round is
-        resolved by the tracker's traversal-free quotient merge
+        Fast/slow path split: a victim-component round is resolved by the
+        tracker's traversal-free quotient merge
         (:meth:`~repro.core.components.ComponentTracker.fast_batch_round`
         — O(participants · α + #ID-changers), the wave analogue of the
-        single-deletion fast path) whenever none of its dead trees is
-        shared with another victim component of the same wave; otherwise,
-        and whenever the quotient preconditions fail mid-merge (a
-        participant inside a foreign shattered tree, or a plan spreading
-        one pre-round class over several quotient classes), the round
-        takes the honest BFS traversal over the affected region
+        single-deletion fast path) whenever its plan is component-safe
+        *or* rewires every G′-neighbor of the victims (so every piece of
+        every owned dead tree is represented — true for GraphHeal-style
+        rewire-everyone plans and vacuously for NoHeal), and none of its
+        dead trees is shared with another victim component of the same
+        wave; otherwise, and whenever the quotient preconditions fail
+        mid-merge (a participant inside a foreign shattered tree, or a
+        plan spreading one pre-round class over several quotient
+        classes), the round takes the honest BFS traversal over the
+        affected region
         (:meth:`~repro.core.components.ComponentTracker.batch_round`).
         Both paths produce byte-identical :class:`HealEvent` streams and
         tracker accounting; ``batch_fast_path=False`` forces the slow
@@ -480,12 +515,16 @@ class SelfHealingNetwork:
                     added += 1
                 self.healing_graph.add_edge(a, b)
 
-            # Fast-eligible: every dead tree of this component is either
-            # wholly ours (all its victims in this component) or already
-            # recomputed by an earlier round of the wave; participants in
-            # a still-shattered foreign tree are caught by the tracker.
+            # Fast-eligible: the plan is component-safe or covers every
+            # G′-neighbor (every shattered piece represented), and every
+            # dead tree of this component is either wholly ours (all its
+            # victims in this component) or already recomputed by an
+            # earlier round of the wave; participants in a still-
+            # shattered foreign tree are caught by the tracker.
             stats = None
-            if fast_batch is not None and plan.component_safe and all(
+            if fast_batch is not None and (
+                plan.component_safe or gp_nbrs <= set(plan.participants)
+            ) and all(
                 label_claims[lbl] == 1 or lbl in resolved
                 for lbl in dead_labels
             ):

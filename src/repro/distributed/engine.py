@@ -20,6 +20,7 @@ from typing import Hashable, Protocol
 
 from repro.distributed.messages import Message, MsgKind
 from repro.errors import ProtocolError
+from repro.utils.rng import make_rng
 
 __all__ = ["SyncEngine", "Process"]
 
@@ -51,7 +52,7 @@ class SyncEngine:
         if jitter < 0:
             raise ProtocolError(f"jitter must be >= 0, got {jitter}")
         self.jitter = jitter
-        self._rng = __import__("random").Random(seed)
+        self._rng = make_rng(seed)
         self._processes: dict[Node, Process] = {}
         #: (due_round, sequence, message) — delivered in this sort order
         self._pending: list[tuple[int, int, Message]] = []

@@ -182,6 +182,10 @@ def run_campaign(
             for event in events:
                 metric.on_event(network, event)
 
+    # Metrics probes are queries: settle any lazily-deferred relabelling
+    # so finalize() reads fully-resolved tracker accounting (no-op for
+    # eager trackers and for campaigns that never deferred).
+    network.resolve_labels()
     values: dict[str, float] = {"waves": float(rounds)} if batch_rounds else {}
     for metric in metrics:
         out = metric.finalize(network)

@@ -1,0 +1,419 @@
+"""Unit tests for lazy label invalidation (the dirty-set tracker mode).
+
+Non-component-safe rounds under ``lazy=True`` either resolve through the
+unsafe quotient merge (exact, byte-identical to the eager BFS) or defer:
+the touched classes go into a dirty-set keyed by union-find
+representatives and the relabelling happens on demand — at the first
+query, invariant check, metrics probe, or trusted (component-safe/batch)
+round — with consecutive deferred rounds batched into one sweep. These
+tests pin that machinery at the tracker level; the campaign-scale
+differential matrix lives in ``test_naive_fast_path.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_component_labels
+from repro.core.components import ComponentTracker
+from repro.core.network import SelfHealingNetwork
+from repro.core.registry import HEALERS
+from repro.errors import InvariantViolation, SimulationError
+from repro.graph.generators import path_graph
+from repro.graph.graph import Graph
+
+
+def build(nodes, g_edges=(), gp_edges=(), *, lazy=True):
+    """A tracker over a hand-built G/G′ with deterministic IDs.
+
+    IDs are (i/100, i) so node order == ID order: node 0 has the smallest.
+    """
+    g = Graph(nodes)
+    for e in g_edges:
+        g.add_edge(*e)
+    gp = Graph(nodes)
+    for e in gp_edges:
+        gp.add_edge(*e)
+    ids = {u: (u / 100.0, u) for u in nodes}
+    tracker = ComponentTracker(
+        graph=g, healing_graph=gp, initial_ids=ids, lazy=lazy
+    )
+    return g, gp, tracker, ids
+
+
+def shatter(g, gp, tracker, ids, victim, label):
+    """Delete ``victim`` with a NoHeal-style unsafe empty plan (no
+    participants: every shattered piece is unrepresented → deferral)."""
+    gp_nbrs = frozenset(
+        gp.neighbors(victim) if gp.has_node(victim) else ()
+    )
+    g.remove_node(victim)
+    if gp.has_node(victim):
+        gp.remove_node(victim)
+    return tracker.round(
+        deleted=victim,
+        deleted_label=label,
+        participants=(),
+        gprime_neighbors=gp_nbrs,
+        component_safe=False,
+        plan_edges=(),
+    )
+
+
+class TestDeferral:
+    def test_uncovered_pieces_defer_with_zero_cost_stats(self):
+        g, gp, tracker, ids = build(
+            [1, 2, 9],
+            g_edges=[(9, 1), (9, 2)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.rebuild_from_healing_graph()
+        stats = shatter(g, gp, tracker, ids, 9, ids[1])
+        assert tracker.deferred_rounds == 1
+        assert tracker.lazy_resolutions == 0
+        assert stats.id_changes == 0
+        assert stats.messages_sent == 0
+        assert not stats.split  # a genuine split surfaces at resolution
+
+    def test_eager_tracker_never_defers(self):
+        g, gp, tracker, ids = build(
+            [1, 2, 9],
+            g_edges=[(9, 1), (9, 2)],
+            gp_edges=[(9, 1), (9, 2)],
+            lazy=False,
+        )
+        tracker.rebuild_from_healing_graph()
+        stats = shatter(g, gp, tracker, ids, 9, ids[1])
+        assert tracker.deferred_rounds == 0
+        assert tracker.slow_rounds == 1
+        assert stats.split  # the eager BFS sees the split immediately
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            lambda tr: tr.label_of(1),
+            lambda tr: tr.labels_of([1, 2]),
+            lambda tr: tr.component_members(2),
+            lambda tr: tr.labels(),
+            lambda tr: tr.components(),
+            lambda tr: tr.num_components(),
+            lambda tr: tr.total_messages(),
+            lambda tr: tr.check_consistency(),
+        ],
+        ids=[
+            "label_of",
+            "labels_of",
+            "component_members",
+            "labels",
+            "components",
+            "num_components",
+            "total_messages",
+            "check_consistency",
+        ],
+    )
+    def test_every_query_forces_resolution(self, query):
+        g, gp, tracker, ids = build(
+            [1, 2, 9],
+            g_edges=[(9, 1), (9, 2)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.rebuild_from_healing_graph()
+        shatter(g, gp, tracker, ids, 9, ids[1])
+        query(tracker)
+        assert tracker.lazy_resolutions == 1
+        tracker.check_consistency()
+        assert tracker.label_of(1) != tracker.label_of(2)
+
+    def test_clean_class_query_does_not_resolve(self):
+        """``label_of`` on a class untouched by any deferral leaves the
+        dirty region pending (per-root dirtiness, not a global flush)."""
+        g, gp, tracker, ids = build(
+            [1, 2, 5, 9],
+            g_edges=[(9, 1), (9, 2), (5, 1)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.rebuild_from_healing_graph()
+        shatter(g, gp, tracker, ids, 9, ids[1])
+        assert tracker.label_of(5) == ids[5]  # 5's singleton is clean
+        assert tracker.lazy_resolutions == 0
+        assert tracker.label_of(1) == ids[1]  # touches the dirty region
+        assert tracker.lazy_resolutions == 1
+
+    def test_batched_resolution_amortizes_consecutive_rounds(self):
+        """Two deferred shatters in two disjoint G′ trees are settled by
+        ONE sweep — the amortization the lazy scheme exists for."""
+        g, gp, tracker, ids = build(
+            [1, 2, 3, 4, 8, 9],
+            g_edges=[(9, 1), (9, 2), (8, 3), (8, 4)],
+            gp_edges=[(9, 1), (9, 2), (8, 3), (8, 4)],
+        )
+        tracker.rebuild_from_healing_graph()
+        shatter(g, gp, tracker, ids, 9, ids[1])
+        shatter(g, gp, tracker, ids, 8, ids[3])
+        assert tracker.deferred_rounds == 2
+        assert tracker.lazy_resolutions == 0
+        labels = tracker.labels()  # one query → one sweep
+        assert tracker.lazy_resolutions == 1
+        assert len({labels[u] for u in (1, 2, 3, 4)}) == 4
+        tracker.check_consistency()
+
+    def test_round_touching_dirty_region_joins_it(self):
+        """An unsafe quotient-eligible round whose participants sit in a
+        pending region must defer too (stale member sets cannot be
+        merged wholesale) — the regions coalesce into one sweep."""
+        g, gp, tracker, ids = build(
+            [1, 2, 5, 9],
+            g_edges=[(9, 1), (9, 2), (5, 1)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.rebuild_from_healing_graph()
+        shatter(g, gp, tracker, ids, 9, ids[1])
+        # Delete 5 and "heal" by rewiring its neighbor 1 (inside the
+        # dirty region): GraphHeal-shaped plan, gprime ⊆ participants.
+        g.remove_node(5)
+        gp.remove_node(5)
+        tracker.round(
+            deleted=5,
+            deleted_label=ids[5],
+            participants=(1,),
+            gprime_neighbors=frozenset(),
+            component_safe=False,
+            plan_edges=(),
+        )
+        assert tracker.deferred_rounds == 2
+        tracker.resolve_labels()
+        assert tracker.lazy_resolutions == 1
+        tracker.check_consistency()
+
+    def test_deletion_inside_dirty_region_before_resolution(self):
+        """Members of a pending region may die before the sweep; the
+        resolution only relabels the survivors."""
+        g, gp, tracker, ids = build(
+            [1, 2, 3, 9],
+            g_edges=[(9, 1), (9, 2), (9, 3)],
+            gp_edges=[(9, 1), (9, 2), (9, 3)],
+        )
+        tracker.rebuild_from_healing_graph()
+        shatter(g, gp, tracker, ids, 9, ids[1])
+        shatter(g, gp, tracker, ids, 2, ids[1])  # stale label still valid
+        labels = tracker.labels()
+        assert set(labels) == {1, 3}
+        assert labels[1] != labels[3]
+        tracker.check_consistency()
+
+    def test_component_safe_round_settles_pending_state_first(self):
+        g, gp, tracker, ids = build(
+            [1, 2, 5, 6, 9],
+            g_edges=[(9, 1), (9, 2), (5, 6)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.rebuild_from_healing_graph()
+        shatter(g, gp, tracker, ids, 9, ids[1])
+        # A DASH-style safe round elsewhere: delete 5, reconnect nothing
+        # (6 is its only neighbor → single participant, no edges).
+        g.remove_node(5)
+        gp.remove_node(5)
+        tracker.round(
+            deleted=5,
+            deleted_label=ids[5],
+            participants=(6,),
+            gprime_neighbors=frozenset(),
+            component_safe=True,
+            plan_edges=(),
+        )
+        assert tracker.lazy_resolutions == 1  # resolved before the merge
+        tracker.check_consistency()
+
+    def test_batch_round_settles_pending_state_first(self):
+        g, gp, tracker, ids = build(
+            [1, 2, 9],
+            g_edges=[(9, 1), (9, 2)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.rebuild_from_healing_graph()
+        shatter(g, gp, tracker, ids, 9, ids[1])
+        tracker.batch_round(set(), (), ())
+        assert tracker.lazy_resolutions == 1
+        tracker.check_consistency()
+
+    def test_rebuild_clears_pending_state(self):
+        g, gp, tracker, ids = build(
+            [1, 2, 9],
+            g_edges=[(9, 1), (9, 2)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.rebuild_from_healing_graph()
+        shatter(g, gp, tracker, ids, 9, ids[1])
+        tracker.rebuild_from_healing_graph()
+        assert tracker.lazy_resolutions == 0  # superseded, not swept
+        tracker.check_consistency()
+
+    def test_deferred_split_surfaces_in_resolved_splits(self):
+        """Deferred rounds report ``split=False``; a genuine split found
+        by the sweep is surfaced through ``resolved_splits`` (the event
+        stream cannot be patched retroactively)."""
+        g, gp, tracker, ids = build(
+            [1, 2, 9],
+            g_edges=[(9, 1), (9, 2)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.rebuild_from_healing_graph()
+        stats = shatter(g, gp, tracker, ids, 9, ids[1])
+        assert not stats.split
+        assert tracker.resolved_splits == 0
+        tracker.resolve_labels()
+        assert tracker.resolved_splits == 1
+        # A merge-only sweep does not count as a split.
+        gp.add_edge(1, 2)
+        g.add_edge(1, 2)
+        tracker._dirty_roots.update(
+            tracker._collect_roots((), (1, 2))
+        )
+        tracker.resolve_labels()
+        assert tracker.resolved_splits == 1
+        tracker.check_consistency()
+
+    def test_dead_node_query_still_raises_under_lazy(self):
+        g, gp, tracker, ids = build(
+            [1, 2, 9],
+            g_edges=[(9, 1), (9, 2)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.rebuild_from_healing_graph()
+        shatter(g, gp, tracker, ids, 9, ids[1])
+        with pytest.raises(SimulationError):
+            tracker.label_of(9)
+
+
+class TestUnsafeQuotient:
+    def test_covering_unsafe_plan_matches_eager_accounting(self):
+        """A GraphHeal-shaped unsafe round (every G′-neighbor rewired)
+        resolves through the quotient merge with stats byte-identical to
+        the eager BFS twin."""
+
+        def one_round(lazy):
+            g, gp, tracker, ids = build(
+                [1, 2, 3, 9],
+                g_edges=[(9, 1), (9, 2), (2, 3)],
+                gp_edges=[(9, 1), (9, 2)],
+                lazy=lazy,
+            )
+            tracker.rebuild_from_healing_graph()
+            g.remove_node(9)
+            gp.remove_node(9)
+            g.add_edge(1, 2)
+            gp.add_edge(1, 2)
+            stats = tracker.round(
+                deleted=9,
+                deleted_label=ids[1],
+                participants=(1, 2),
+                gprime_neighbors=frozenset({1, 2}),
+                component_safe=False,
+                plan_edges=((1, 2),),
+            )
+            tracker.check_consistency()
+            return stats, tracker
+
+        fast_stats, fast_tr = one_round(lazy=True)
+        slow_stats, slow_tr = one_round(lazy=False)
+        assert fast_stats == slow_stats
+        assert fast_tr.labels() == slow_tr.labels()
+        assert fast_tr.id_changes == slow_tr.id_changes
+        assert fast_tr.messages_sent == slow_tr.messages_sent
+        assert fast_tr.fast_rounds == 1 and fast_tr.deferred_rounds == 0
+        assert slow_tr.slow_rounds == 1 and slow_tr.fast_rounds == 0
+
+    def test_split_plan_defers_instead_of_guessing(self):
+        """An unsafe plan that covers the G′-neighbors but leaves the
+        pieces in separate quotient classes cannot be attributed without
+        a traversal → deferral, and the resolution finds the split."""
+        g, gp, tracker, ids = build(
+            [1, 2, 9],
+            g_edges=[(9, 1), (9, 2)],
+            gp_edges=[(9, 1), (9, 2)],
+        )
+        tracker.rebuild_from_healing_graph()
+        g.remove_node(9)
+        gp.remove_node(9)
+        # Participants present but no plan edges: two pieces, two classes.
+        tracker.round(
+            deleted=9,
+            deleted_label=ids[1],
+            participants=(1, 2),
+            gprime_neighbors=frozenset({1, 2}),
+            component_safe=False,
+            plan_edges=(),
+        )
+        assert tracker.deferred_rounds == 1
+        assert tracker.label_of(1) != tracker.label_of(2)
+        tracker.check_consistency()
+
+
+class TestNetworkIntegration:
+    class _FlakyGraphHeal(HEALERS["graph-heal"]):
+        """GraphHeal that drops every third plan (unsafe, empty):
+        shattered pieces go unrepresented → the lazy tracker defers."""
+
+        def __init__(self):
+            self._round = 0
+
+        def reset(self):
+            self._round = 0
+
+        def plan(self, snapshot):
+            self._round += 1
+            if self._round % 3 == 0:
+                from repro.core.base import empty_plan
+
+                return empty_plan(snapshot, component_safe=False)
+            return super().plan(snapshot)
+
+    def _campaign(self, fast):
+        import random
+
+        net = SelfHealingNetwork(
+            path_graph(24),
+            self._FlakyGraphHeal(),
+            seed=5,
+            batch_fast_path=fast,
+        )
+        rng = random.Random(8)
+        while net.num_alive > 2:
+            net.delete_and_heal(rng.choice(sorted(net.graph.nodes())))
+        return net
+
+    def test_network_campaign_defers_and_converges(self):
+        """Through the network, deferred rounds accumulate and resolve on
+        the next label query; the final partition matches the eager twin
+        (labels/charges may differ — deferral batches the relabelling)."""
+        fast_net = self._campaign(True)
+        slow_net = self._campaign(False)
+        assert fast_net.tracker.deferred_rounds > 0
+        assert fast_net.tracker.lazy_resolutions > 0
+        assert slow_net.tracker.deferred_rounds == 0
+        fast_net.tracker.check_consistency()
+        # Identical topology (plans never read labels here) → identical
+        # true G′ partition after resolution.
+        assert fast_net.graph == slow_net.graph
+        assert fast_net.healing_graph == slow_net.healing_graph
+        assert set(fast_net.tracker.components().values()) == set(
+            slow_net.tracker.components().values()
+        )
+
+    def test_invariant_check_is_dirty_aware(self):
+        """``check_component_labels`` forces resolution before verifying
+        (a pending region is not a violation)."""
+        net = SelfHealingNetwork(
+            path_graph(10), self._FlakyGraphHeal(), seed=1
+        )
+        for victim in (5, 3, 4):
+            net.delete_and_heal(victim)
+        assert net.tracker.deferred_rounds > 0
+        check_component_labels(net)  # must not raise
+        assert net.tracker.lazy_resolutions > 0
+        # ... but a genuinely corrupted tracker still fails loudly.
+        tracker = net.tracker
+        root = next(iter(tracker._root_members))
+        tracker._root_label[root] = (2.0, 999)
+        with pytest.raises(InvariantViolation):
+            check_component_labels(net)

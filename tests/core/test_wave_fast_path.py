@@ -247,19 +247,31 @@ def test_full_kill_single_wave_matches():
     assert_equivalent(fast_net, slow_net)
 
 
-def test_non_component_safe_healer_never_fast():
-    """GraphHeal plans are not component-safe; every wave must take the
-    honest traversal even with the fast path enabled."""
-    net = SelfHealingNetwork(
-        preferential_attachment(40, 2, seed=3), HEALERS["graph-heal"](), seed=3
-    )
-    rng = random.Random(4)
-    for _ in range(5):
-        alive = sorted(net.graph.nodes())
-        net.delete_batch_and_heal(rng.sample(alive, 4))
-        net.tracker.check_consistency()
-    assert net.tracker.fast_batch_rounds == 0
-    assert net.tracker.slow_batch_rounds > 0
+def test_non_component_safe_healer_waves_ride_the_fast_path():
+    """GraphHeal plans are not component-safe, but they rewire *every*
+    boundary neighbor — every shattered piece of an owned dead tree is
+    represented — so since the lazy-label PR their waves ride the
+    quotient fast path too, byte-identical to the preserved honest
+    traversal (shared dead trees still force an honest first touch)."""
+
+    def campaign(fast: bool):
+        net = SelfHealingNetwork(
+            preferential_attachment(40, 2, seed=3),
+            HEALERS["graph-heal"](),
+            seed=3,
+            batch_fast_path=fast,
+        )
+        rng = random.Random(4)
+        for _ in range(5):
+            alive = sorted(net.graph.nodes())
+            net.delete_batch_and_heal(rng.sample(alive, 4))
+            net.tracker.check_consistency()
+        return net
+
+    fast_net = campaign(True)
+    slow_net = campaign(False)
+    assert fast_net.tracker.fast_batch_rounds > 0
+    assert_equivalent(fast_net, slow_net)
 
 
 def test_fast_batch_round_rejects_overlapping_foreign_labels():

@@ -1,0 +1,166 @@
+"""Distributed engine vs. centralized simulator: message-kind accounting.
+
+``tests/distributed/test_protocol.py`` drives the two implementations in
+lockstep through hand-rolled loops; this module closes the remaining
+coverage gap by running the **campaign engine**
+(:func:`~repro.sim.engine.run_campaign` with a
+:class:`~repro.adversary.scripted.ScriptedAttack`) and the
+:class:`~repro.distributed.network.DistributedNetwork` protocol from
+*shared seeds* and comparing the per-kind message counters the
+:class:`~repro.distributed.engine.SyncEngine` keeps against the
+centralized tracker's accounting:
+
+* ``ID_UPDATE`` traffic (Lemma 8's quantity) must match the tracker's
+  per-node and total message counts exactly;
+* ``DELETION`` oracle notices must equal the victims' pre-deletion
+  degrees (one notice per neighbor, the failure-detection model);
+* per-node and total ID-change counts must agree;
+* ``STATE`` (NoN-maintenance) overhead exists only on the distributed
+  side — the paper takes it as given, and the engine reports it
+  separately so the comparison stays honest.
+
+Also pins the :class:`SyncEngine` seeding bugfix: the jitter RNG now
+comes from :func:`repro.utils.rng.make_rng` and equal seeds give equal
+delivery orders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.scripted import ScriptedAttack
+from repro.core.dash import Dash
+from repro.core.naive import BinaryTreeHeal, LineHeal
+from repro.core.sdash import Sdash
+from repro.distributed import DistributedNetwork, MsgKind
+from repro.distributed.engine import SyncEngine
+from repro.distributed.messages import Message
+from repro.graph.generators import erdos_renyi, preferential_attachment
+from repro.sim.engine import run_campaign
+from repro.utils.rng import make_rng
+
+
+def shared_kill_order(graph, master_seed, count):
+    """A seed-derived deletion order both implementations replay."""
+    victims = sorted(graph.nodes())
+    make_rng(master_seed).shuffle(victims)
+    return victims[:count]
+
+
+def run_both(make_graph, healer_cls, *, master_seed, kills):
+    """Drive engine-campaign and protocol from the same seeds/victims."""
+    graph = make_graph()
+    victims = shared_kill_order(graph, master_seed, kills)
+
+    result = run_campaign(
+        graph.copy(),
+        healer_cls(),
+        ScriptedAttack(victims),
+        id_seed=master_seed,
+        keep_events=True,
+        keep_network=True,
+    )
+
+    dis = DistributedNetwork(graph.copy(), healer_cls, seed=master_seed)
+    expected_notices = 0
+    for v in victims:
+        expected_notices += len(dis.processes[v].g_adj)
+        dis.delete(v)
+    return result, dis, victims, expected_notices
+
+
+HEALERS = [Dash, Sdash, BinaryTreeHeal, LineHeal]
+
+
+@pytest.mark.parametrize("healer_cls", HEALERS, ids=lambda c: c.name)
+def test_engine_campaign_matches_protocol_message_kinds(healer_cls):
+    result, dis, victims, expected_notices = run_both(
+        lambda: preferential_attachment(26, 2, seed=11),
+        healer_cls,
+        master_seed=11,
+        kills=16,
+    )
+    cen = result.network
+    eng = dis.engine
+    assert result.deletions == len(victims)
+
+    # Lemma 8 traffic: the protocol's ID_UPDATE flood equals the
+    # centralized MINID charge, in total and per node (dead nodes'
+    # lifetime counts included — the engine never forgets a sender).
+    assert eng.total_sent(MsgKind.ID_UPDATE) == cen.tracker.total_messages()
+    for u, sent in cen.tracker.messages_sent.items():
+        assert eng.messages_sent(u, MsgKind.ID_UPDATE) == sent
+    received_total = sum(
+        eng.messages_received(u, MsgKind.ID_UPDATE)
+        for u in cen.tracker.messages_received
+    )
+    assert received_total == sum(cen.tracker.messages_received.values())
+
+    # Failure detection: one DELETION notice per victim neighbor.
+    delivered_notices = sum(
+        kinds.get(MsgKind.DELETION, 0)
+        for kinds in eng.received_by_node.values()
+    )
+    assert delivered_notices == expected_notices
+
+    # ID-change totals (per surviving node and summed).
+    for u, proc in dis.processes.items():
+        assert proc.id_changes == cen.tracker.id_changes[u]
+    assert sum(p.id_changes for p in dis.processes.values()) == sum(
+        cen.tracker.id_changes[u] for u in dis.processes
+    )
+
+    # NoN maintenance exists only in the protocol; the per-kind split is
+    # what lets the comparison above stay exact.
+    assert dis.non_overhead_messages() > 0
+    assert eng.total_sent(MsgKind.STATE) == dis.non_overhead_messages()
+
+
+def test_equivalence_on_second_topology_family():
+    """Same cross-check on an Erdős–Rényi instance (different round mix:
+    denser neighborhoods, more multi-component merges)."""
+    result, dis, victims, _ = run_both(
+        lambda: erdos_renyi(24, 0.18, seed=7), Dash, master_seed=7, kills=14
+    )
+    cen = result.network
+    eng = dis.engine
+    assert eng.total_sent(MsgKind.ID_UPDATE) == cen.tracker.total_messages()
+    labels = dis.labels()
+    for u in cen.graph.nodes():
+        assert labels[u] == cen.tracker.label_of(u)
+        assert dis.deltas()[u] == cen.delta(u)
+    assert dis.graph() == cen.graph
+    assert dis.healing_graph() == cen.healing_graph
+
+
+def test_sync_engine_jitter_seeding_is_reproducible():
+    """The ``__import__("random")`` construction is gone: the jitter RNG
+    routes through :func:`repro.utils.rng.make_rng`, so equal seeds give
+    identical delivery schedules and distinct seeds may differ."""
+
+    def delivery_trace(seed):
+        engine = SyncEngine(jitter=3, seed=seed)
+        log = []
+
+        class Recorder:
+            def __init__(self, me):
+                self.me = me
+
+            def handle(self, message):
+                log.append((engine.rounds_elapsed, message.src, self.me))
+
+        for u in range(4):
+            engine.register(u, Recorder(u))
+        for u in range(4):
+            for v in range(4):
+                if u != v:
+                    engine.send(
+                        Message(kind=MsgKind.STATE, src=u, dst=v, payload=None)
+                    )
+        engine.run_until_quiescent()
+        return log
+
+    assert delivery_trace(5) == delivery_trace(5)
+    assert delivery_trace(5) != delivery_trace(6)
+    engine_rng = SyncEngine(jitter=0, seed=0)._rng
+    assert engine_rng.random() == make_rng(0).random()

@@ -1,0 +1,229 @@
+"""Property-based campaign fuzzing over the live component registries.
+
+Hypothesis previously only covered the ``graph/`` modules and
+``analysis/weights``; this suite fuzzes whole campaigns. A strategy
+draws *valid spec strings* from the live :data:`HEALERS`,
+:data:`ADVERSARIES`, :data:`GENERATORS`, and :data:`WAVE_SCHEDULES`
+registries — bare names that validate as-is plus parameterized variants
+for factories with required arguments — builds the components exactly
+the way :class:`~repro.sim.experiment.ExperimentSpec` would
+(``Registry.make`` with centralized seed injection), runs a short
+:func:`~repro.sim.engine.run_campaign` on a tiny graph, and asserts the
+``check_component_labels`` and ``check_degree_index`` invariants after
+every round.
+
+Because the spec pool is derived from the registries at import time, a
+newly registered healer/adversary/generator/schedule is fuzzed
+automatically — and a component whose bare spec stops validating drops
+out loudly via :func:`test_strategies_draw_valid_specs`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import find, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import ADVERSARIES
+from repro.adversary.waves import WAVE_SCHEDULES
+from repro.analysis import check_component_labels, check_degree_index
+from repro.core.network import SelfHealingNetwork
+from repro.core.registry import HEALERS
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.graph.generators import GENERATORS
+from repro.sim.engine import run_campaign
+from repro.utils.rng import derive_seed
+
+
+def _bare_valid(registry) -> list[str]:
+    """Registry names that are valid specs as-is (required args are all
+    runtime-injected or defaulted)."""
+    names = []
+    for name in sorted(registry):
+        try:
+            registry.validate_spec(name)
+            names.append(name)
+        except ConfigurationError:
+            pass
+    return names
+
+
+#: live-registry pools — new registrations join the fuzz automatically
+BARE_HEALERS = _bare_valid(HEALERS)
+BARE_ADVERSARIES = _bare_valid(ADVERSARIES)
+BARE_GENERATORS = _bare_valid(GENERATORS)
+
+
+def healer_specs() -> st.SearchStrategy[str]:
+    parameterized = st.integers(1, 3).map(
+        lambda m: f"degree-bounded:max_increase={m}"
+    )
+    return st.one_of(st.sampled_from(BARE_HEALERS), parameterized)
+
+
+def schedule_specs() -> st.SearchStrategy[str]:
+    """Nested wave-schedule fragments (no commas — nested specs cannot
+    contain them), one variant per registered schedule kind."""
+    assert set(WAVE_SCHEDULES) >= {"constant", "geometric", "fraction"}
+    return st.one_of(
+        st.integers(1, 4).map(lambda k: f"constant:size={k}"),
+        st.integers(1, 3).map(lambda k: f"geometric:initial={k}"),
+        st.sampled_from(["fraction:fraction=0.3", "fraction:fraction=0.6"]),
+    )
+
+
+def adversary_specs() -> st.SearchStrategy[str]:
+    wave_names = [n for n in BARE_ADVERSARIES if n.endswith("-wave")]
+    waves = st.builds(
+        lambda name, size, sched: f"{name}:size={size},schedule={sched}",
+        st.sampled_from(wave_names),
+        st.integers(1, 5),
+        schedule_specs(),
+    )
+    level = st.integers(2, 3).map(lambda b: f"level-attack:branching={b}")
+    return st.one_of(st.sampled_from(BARE_ADVERSARIES), waves, level)
+
+
+def generator_specs() -> st.SearchStrategy[str]:
+    parameterized = st.sampled_from(
+        [
+            "erdos_renyi:p=0.2",
+            "watts_strogatz:k=4,p=0.2",
+            "gnm_random:m=20",
+            "grid:rows=3,cols=4",
+            "complete_kary_tree:branching=2,depth=3",
+        ]
+    )
+    return st.one_of(st.sampled_from(BARE_GENERATORS), parameterized)
+
+
+campaign_specs = st.fixed_dictionaries(
+    {
+        "generator": generator_specs(),
+        "healer": healer_specs(),
+        "adversary": adversary_specs(),
+        "n": st.integers(8, 18),
+        "seed": st.integers(0, 2**20),
+    }
+)
+
+
+class _CheckInvariantsMetric:
+    """Asserts label and index ground truth after every heal event."""
+
+    def on_event(self, network, event) -> None:
+        check_component_labels(network)
+        check_degree_index(network)
+
+    def finalize(self, network) -> dict[str, float]:
+        return {}
+
+
+def run_fuzzed_campaign(spec: dict, *, max_rounds: int = 8):
+    """Build every component from its spec string (seed injection as in
+    ``ExperimentSpec``) and run a short invariant-checked campaign."""
+    seed = spec["seed"]
+    graph = GENERATORS.make(
+        spec["generator"],
+        seed=derive_seed(seed, "generator"),
+        force={"n": spec["n"]},
+    )
+    healer = HEALERS.make(spec["healer"], seed=derive_seed(seed, "healer"))
+    adversary = ADVERSARIES.make(
+        spec["adversary"], seed=derive_seed(seed, "adversary")
+    )
+    return run_campaign(
+        graph,
+        healer,
+        adversary,
+        id_seed=derive_seed(seed, "ids"),
+        metrics=[_CheckInvariantsMetric()],
+        max_rounds=max_rounds,
+        keep_network=True,
+    )
+
+
+@given(campaign_specs)
+@settings(max_examples=40, deadline=None)
+def test_fuzzed_campaigns_hold_invariants(spec):
+    """Any healer × adversary × generator × schedule drawn from the live
+    registries keeps component labels and degree/δ indexes exact every
+    round, and leaves the tracker consistent at campaign end."""
+    result = run_fuzzed_campaign(spec)
+    assert result.deletions >= 0
+    assert result.final_alive >= 0
+    check_component_labels(result.network)
+    check_degree_index(result.network)
+
+
+@given(
+    healer_specs(), adversary_specs(), generator_specs(), schedule_specs()
+)
+@settings(max_examples=40, deadline=None)
+def test_strategies_draw_valid_specs(healer, adversary, generator, schedule):
+    """Every drawn spec validates against its live registry — the
+    fail-fast contract ``ExperimentSpec`` relies on."""
+    HEALERS.validate_spec(healer)
+    ADVERSARIES.validate_spec(adversary)
+    GENERATORS.validate_spec(generator)
+    WAVE_SCHEDULES.validate_spec(schedule)
+
+
+def test_registry_pools_are_live_and_nonempty():
+    """The pools come from the registries, not a hand-written list."""
+    assert "dash" in BARE_HEALERS and "graph-heal" in BARE_HEALERS
+    assert "random" in BARE_ADVERSARIES
+    assert any(n.endswith("-wave") for n in BARE_ADVERSARIES)
+    assert "scripted" not in BARE_ADVERSARIES  # needs a victim sequence
+    assert "random_tree" in BARE_GENERATORS
+
+
+def test_fuzzer_shrinks_to_minimal_failing_spec():
+    """Seeded violation: corrupt one tracker label mid-campaign and let
+    Hypothesis hunt for a failing healer spec. Every spec fails, so the
+    shrunk witness must be the *minimal* one — the first element of the
+    healer pool (``sampled_from`` shrinks toward index 0)."""
+
+    def violates(healer_spec: str) -> bool:
+        graph = GENERATORS.make("random_tree", seed=3, force={"n": 10})
+        healer = HEALERS.make(healer_spec, seed=1)
+        net = SelfHealingNetwork(graph, healer, seed=0)
+        net.delete_and_heal(sorted(net.graph.nodes())[0])
+        tracker = net.tracker
+        root = next(iter(tracker._root_members))
+        tracker._root_label[root] = (2.0, 999)  # sabotage: bogus MINID
+        try:
+            check_component_labels(net)
+        except InvariantViolation:
+            return True
+        return False
+
+    minimal = find(st.sampled_from(BARE_HEALERS), violates)
+    assert minimal == BARE_HEALERS[0]
+
+
+def test_seeded_violation_is_caught_every_round():
+    """The per-round metric (not just campaign-end checks) is what trips
+    on a mid-campaign corruption."""
+
+    class _SabotageAtRound3(_CheckInvariantsMetric):
+        def __init__(self):
+            self._rounds = 0
+
+        def on_event(self, network, event) -> None:
+            self._rounds += 1
+            if self._rounds == 3:
+                tracker = network.tracker
+                root = next(iter(tracker._root_members))
+                tracker._root_label[root] = (3.0, 998)
+            super().on_event(network, event)
+
+    graph = GENERATORS.make("preferential_attachment", seed=5, force={"n": 16})
+    with pytest.raises(InvariantViolation):
+        run_campaign(
+            graph,
+            HEALERS.make("dash"),
+            ADVERSARIES.make("random", seed=5),
+            id_seed=5,
+            metrics=[_SabotageAtRound3()],
+        )
