@@ -14,7 +14,10 @@ bench job and fails the build if any hard-won speedup has slid back:
 * wave healing (PR 3): interleaved √n-wave campaign vs the preserved
   traversal path — ≥ 2×;
 * naive healing (PR 5): interleaved full-kill GraphHeal campaign under
-  lazy label invalidation vs the preserved eager BFS path — ≥ 2×.
+  lazy label invalidation vs the preserved eager BFS path — ≥ 2×;
+* crash safety (PR 6): recorder-hook share of a checkpointed √n-wave
+  campaign at ``checkpoint_every=32`` — ≤ 5% overhead (a ceiling, not
+  a floor: this one guards the *cost* of running crash-safe).
 
 A missing workload is a failure too: the gate must never pass because a
 benchmark silently stopped recording.
@@ -33,6 +36,7 @@ DEFAULT_JSON = (
 )
 
 #: (workload, how to compute the speedup from its entry, floor)
+#: Floors are minimums: the measured ratio must stay >= the bound.
 GATES = [
     (
         "campaign_dash_pa4000_m3",
@@ -57,6 +61,18 @@ GATES = [
         lambda e: e["speedup_vs_eager"],
         2.0,
         "lazy-label naive healing vs preserved eager BFS path (PR 5)",
+    ),
+]
+
+#: (workload, how to compute the cost from its entry, ceiling, unit)
+#: Ceilings are maximums: the measured cost must stay <= the bound.
+CEILINGS = [
+    (
+        "campaign_checkpoint_overhead_pa4096_m3",
+        lambda e: e["overhead_pct"],
+        5.0,
+        "%",
+        "crash-safe campaign overhead at checkpoint_every=32 (PR 6)",
     ),
 ]
 
@@ -87,6 +103,29 @@ def main(argv: list[str]) -> int:
         if speedup < floor:
             failures.append(
                 f"{name}: {speedup:.2f}x below the {floor}x floor ({what})"
+            )
+
+    for name, cost_of, ceiling, unit, what in CEILINGS:
+        entry = workloads.get(name)
+        if entry is None:
+            failures.append(
+                f"{name}: workload missing from {path.name} ({what})"
+            )
+            continue
+        try:
+            cost = cost_of(entry)
+        except KeyError as exc:
+            failures.append(f"{name}: entry lacks {exc} ({what})")
+            continue
+        status = "ok" if cost <= ceiling else "FAIL"
+        print(
+            f"{status:4s} {name}: {cost:.2f}{unit} "
+            f"(ceiling {ceiling}{unit}) — {what}"
+        )
+        if cost > ceiling:
+            failures.append(
+                f"{name}: {cost:.2f}{unit} above the "
+                f"{ceiling}{unit} ceiling ({what})"
             )
 
     if failures:

@@ -18,6 +18,8 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, ClassVar, Hashable, Iterator, Sequence
 
+from repro.errors import CheckpointError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.network import SelfHealingNetwork
 
@@ -48,6 +50,10 @@ class Adversary(abc.ABC):
     #: whether rounds are simultaneous batches (wave semantics) — the
     #: engine's routing flag; single-victim strategies leave it False
     batch_rounds: ClassVar[bool] = False
+    #: whether mid-campaign state round-trips through
+    #: :meth:`export_state`/:meth:`import_state` (agenda/generator-driven
+    #: strategies cannot freeze a live generator and set this False)
+    checkpointable: ClassVar[bool] = True
 
     def reset(self, network: "SelfHealingNetwork") -> None:
         """Prepare for a fresh run against ``network``."""
@@ -84,6 +90,38 @@ class Adversary(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} must override choose_target() or agenda()"
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (see repro.recovery.checkpoint)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-serializable mid-campaign state.
+
+        The contract: after ``import_state(export_state())`` on a fresh
+        instance built with the same constructor arguments, every future
+        :meth:`choose_round` against the restored network returns the
+        identical victims. Stateless strategies inherit this empty dict;
+        stateful ones extend it (calling ``super().export_state()``
+        first, which guards the un-freezable agenda case).
+        """
+        if not self.checkpointable:
+            raise CheckpointError(
+                f"adversary {self.name!r} is not checkpointable"
+            )
+        if getattr(self, "_iter", None) is not None:
+            raise CheckpointError(
+                f"adversary {self.name!r} has a live agenda generator — "
+                "its position cannot be serialized"
+            )
+        return {}
+
+    def import_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output on a fresh instance."""
+        if not self.checkpointable:
+            raise CheckpointError(
+                f"adversary {self.name!r} is not checkpointable"
+            )
+        self._iter = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

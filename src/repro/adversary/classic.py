@@ -38,7 +38,7 @@ from bisect import bisect_left
 from typing import TYPE_CHECKING, ClassVar, Hashable
 
 from repro.adversary.base import Adversary
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, rng_state_from_json, rng_state_to_json
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.network import SelfHealingNetwork
@@ -166,6 +166,19 @@ class NeighborOfMaxAttack(Adversary):
         self._cache.picked(pick)
         return pick
 
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["rng"] = rng_state_to_json(self._rng)
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        rng_state_from_json(state["rng"], self._rng)
+        # The neighbor cache is an exact-resync optimization: a cleared
+        # cache re-sorts from the live graph on the next draw, which is
+        # byte-identical to the warmed cache's incremental replay.
+        self._cache.reset()
+
 
 class RandomAttack(Adversary):
     """Delete a uniformly random surviving node (failure, not attack).
@@ -225,6 +238,19 @@ class RandomAttack(Adversary):
         self._last = choice
         return choice
 
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["rng"] = rng_state_to_json(self._rng)
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        rng_state_from_json(state["rng"], self._rng)
+        # Invalidated survivor list → next draw re-sorts from the live
+        # graph, identical to the incrementally maintained one.
+        self._alive = None
+        self._last = None
+
 
 class MinDegreeAttack(Adversary):
     """Delete the current minimum-degree node (leaf-eating attack).
@@ -267,3 +293,13 @@ class MaxDeltaNeighborAttack(Adversary):
         pick = self._rng.choice(nbrs) if nbrs else best
         self._cache.picked(pick)
         return pick
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["rng"] = rng_state_to_json(self._rng)
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        rng_state_from_json(state["rng"], self._rng)
+        self._cache.reset()

@@ -80,6 +80,10 @@ class LevelAttack(Adversary):
     """
 
     name: ClassVar[str] = "level-attack"
+    #: the level-by-level sweep lives in a suspended generator whose
+    #: position cannot be serialized — campaigns under LEVELATTACK
+    #: cannot be checkpointed (run them straight through)
+    checkpointable: ClassVar[bool] = False
 
     def __init__(self, branching: int) -> None:
         if branching < 2:

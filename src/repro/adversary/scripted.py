@@ -8,7 +8,7 @@ replay removes attack-order variance when isolating healer effects).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, ClassVar, Hashable, Iterator, Sequence
+from typing import TYPE_CHECKING, ClassVar, Hashable, Sequence
 
 from repro.adversary.base import Adversary
 from repro.errors import AdversaryError
@@ -23,6 +23,10 @@ Node = Hashable
 
 class ScriptedAttack(Adversary):
     """Delete a fixed sequence of nodes, in order.
+
+    The position in the script is an explicit cursor (not a suspended
+    generator), so a mid-campaign checkpoint can freeze and resume a
+    replay exactly — the one thing agenda-style adversaries cannot do.
 
     Parameters
     ----------
@@ -41,15 +45,32 @@ class ScriptedAttack(Adversary):
     def __init__(self, sequence: Sequence[Node], strict: bool = True) -> None:
         self.sequence = tuple(sequence)
         self.strict = strict
+        self._pos = 0
 
-    def agenda(self, network: "SelfHealingNetwork") -> Iterator[Node]:
-        for victim in self.sequence:
+    def reset(self, network: "SelfHealingNetwork") -> None:
+        super().reset(network)
+        self._pos = 0
+
+    def choose_target(self, network: "SelfHealingNetwork") -> Node | None:
+        while self._pos < len(self.sequence):
+            victim = self.sequence[self._pos]
+            self._pos += 1
             if network.graph.has_node(victim):
-                yield victim
-            elif self.strict:
+                return victim
+            if self.strict:
                 raise AdversaryError(
                     f"scripted victim {victim!r} is not in the graph"
                 )
+        return None
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["pos"] = self._pos
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self._pos = state["pos"]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

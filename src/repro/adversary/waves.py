@@ -47,7 +47,7 @@ from typing import TYPE_CHECKING, Callable, ClassVar, Hashable, Sequence
 from repro.adversary.base import Adversary
 from repro.errors import ConfigurationError
 from repro.registry import Registry
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, rng_state_from_json, rng_state_to_json
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.network import SelfHealingNetwork
@@ -235,6 +235,18 @@ class WaveAdversary(Adversary):
     def _pick(self, network: "SelfHealingNetwork", size: int) -> list[Node]:
         raise NotImplementedError
 
+    def export_state(self) -> dict:
+        # The schedule itself is reconstructed from constructor
+        # provenance at resume (it is a closure); only the position in
+        # it is dynamic state.
+        state = super().export_state()
+        state["wave_index"] = self._wave_index
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self._wave_index = state["wave_index"]
+
 
 class RandomWaveAttack(WaveAdversary):
     """Kill a uniformly random set of survivors each wave (mass failure).
@@ -281,6 +293,19 @@ class RandomWaveAttack(WaveAdversary):
             alive = self._alive = sorted(g.nodes())
         self._last_wave = self._rng.sample(alive, size)
         return list(self._last_wave)
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["rng"] = rng_state_to_json(self._rng)
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        rng_state_from_json(state["rng"], self._rng)
+        # Invalidated survivor list resyncs against the live graph on
+        # the next wave — identical draws to the maintained list.
+        self._alive = None
+        self._last_wave = []
 
 
 class TargetedWaveAttack(WaveAdversary):

@@ -25,6 +25,13 @@ Run a wave campaign (footnote 1's simultaneous-failure regime)::
     python -m repro.cli simulate --n 500 --healer dash \
         --adversary "random-wave:size=8,schedule=geometric" --seed 7
 
+Run crash-safe (checkpoint every 8 rounds + append-only ledger), and
+resume after a crash::
+
+    python -m repro.cli simulate --n 5000 --healer dash \
+        --adversary max-node --checkpoint-every 8 --checkpoint-dir state/
+    python -m repro.cli resume state/campaign.jsonl
+
 List available components::
 
     python -m repro.cli list
@@ -89,6 +96,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="victims per wave (wave adversaries only)")
     sim.add_argument("--max-waves", type=int, default=None,
                      help="wave budget (wave adversaries only)")
+    sim.add_argument("--checkpoint-every", type=int, default=None,
+                     help="write a full-state checkpoint every N rounds "
+                          "(requires --checkpoint-dir)")
+    sim.add_argument("--checkpoint-dir", default=None,
+                     help="directory for checkpoints; also enables the "
+                          "append-only campaign ledger "
+                          "(<dir>/campaign.jsonl)")
+
+    res = sub.add_parser(
+        "resume",
+        help="resume a crashed campaign from its ledger + last intact "
+             "checkpoint",
+    )
+    res.add_argument("ledger", help="path to the campaign's ledger "
+                                    "(campaign.jsonl)")
+    res.add_argument("--no-checkpoints", action="store_true",
+                     help="finish the campaign without writing further "
+                          "checkpoints")
 
     sub.add_parser(
         "list",
@@ -177,6 +202,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        print("--checkpoint-every requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
+    recovery: dict = {}
+    if args.checkpoint_dir is not None:
+        from pathlib import Path
+
+        ckpt_dir = Path(args.checkpoint_dir)
+        recovery["checkpoint_dir"] = ckpt_dir
+        recovery["checkpoint_every"] = args.checkpoint_every or 16
+        recovery["ledger"] = ckpt_dir / "campaign.jsonl"
+
     result = run_campaign(
         graph,
         healer,
@@ -185,13 +223,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         metrics=default_metrics() + [ConnectivityMetric()],
         max_rounds=args.max_waves,
         max_deletions=args.max_deletions,
+        **recovery,
     )
+    _print_result(result)
+    return 0
+
+
+def _print_result(result) -> None:
     print(f"initial n        : {result.initial_n}")
     print(f"deletions        : {result.deletions}")
     print(f"final alive      : {result.final_alive}")
     print(f"peak δ           : {result.peak_delta}")
     for key in sorted(result.values):
         print(f"{key:<24s}: {result.values[key]:.3f}")
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.errors import CheckpointError
+    from repro.recovery import resume_from_ledger
+
+    try:
+        result = resume_from_ledger(
+            args.ledger, keep_checkpointing=not args.no_checkpoints
+        )
+    except CheckpointError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    _print_result(result)
     return 0
 
 
@@ -220,6 +278,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "list":
         return _cmd_list(args)
     raise AssertionError("unreachable")  # pragma: no cover

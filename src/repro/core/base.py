@@ -183,6 +183,18 @@ class Healer(abc.ABC):
     def reset(self) -> None:
         """Reset per-run state. Default: nothing to do."""
 
+    def export_state(self) -> dict:
+        """JSON-serializable mid-campaign state (checkpoint protocol).
+
+        After ``import_state(export_state())`` on a fresh same-config
+        instance, every future :meth:`plan` returns identical edges.
+        Stateless healers (the majority) inherit this empty dict.
+        """
+        return {}
+
+    def import_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output on a fresh instance."""
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 

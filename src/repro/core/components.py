@@ -92,7 +92,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Mapping, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import CheckpointError, SimulationError
 from repro.graph.graph import Graph
 
 __all__ = ["NodeId", "ComponentTracker", "RoundStats", "make_node_ids"]
@@ -351,6 +351,157 @@ class ComponentTracker:
         self.id_changes.setdefault(node, 0)
         self.messages_sent.setdefault(node, 0)
         self.messages_received.setdefault(node, 0)
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (see repro.recovery.checkpoint)
+    # ------------------------------------------------------------------
+    #: scalar counters that round-trip verbatim through export/import
+    _SCALARS = (
+        "fast_rounds",
+        "slow_rounds",
+        "deferred_rounds",
+        "fast_batch_rounds",
+        "slow_batch_rounds",
+        "lazy_resolutions",
+        "resolved_splits",
+    )
+
+    @staticmethod
+    def _json_node(u: Node) -> Node:
+        """Nodes must survive a JSON round-trip unchanged (the labels of
+        every generator in this package are ints)."""
+        if isinstance(u, bool) or not isinstance(u, (int, str)):
+            raise CheckpointError(
+                f"node {u!r} is not JSON-round-trippable (int/str only)"
+            )
+        return u
+
+    def export_state(self) -> dict:
+        """Serialize all dynamic state to a JSON-ready dict.
+
+        The export is taken *as-is* — pending lazy relabelling stays
+        pending, so a deferred-round batch resolves after resume exactly
+        when (and as cheaply as) it would have in the uninterrupted run;
+        forcing resolution here would split one batched sweep into two
+        and change the message accounting.
+
+        The union-find forest is exported flattened: each class as
+        ``[root, label, members]`` (the root may be a deleted tombstone —
+        a class's MINID label routinely belongs to a long-dead node,
+        which is why :meth:`rebuild_from_healing_graph` cannot serve as a
+        restore path). Non-root tombstones are not listed; import re-derives
+        them as ``initial_ids`` keys outside every class. Counters are
+        exported sparse (non-zero entries only).
+        """
+        check = self._json_node
+
+        def sort_nodes(seq):
+            # This runs on every checkpoint over O(n) collections —
+            # native comparison (all shipped generators label with
+            # ints) with a repr() fallback for mixed-type node sets.
+            try:
+                return sorted(seq)
+            except TypeError:
+                return sorted(seq, key=repr)
+
+        classes = [
+            [check(root), list(self._root_label[root]), sort_nodes(members)]
+            for root, members in self._root_members.items()
+        ]
+        try:
+            classes.sort(key=lambda c: c[0])
+        except TypeError:
+            classes.sort(key=lambda c: repr(c[0]))
+        for cls in classes:
+            for u in cls[2]:
+                check(u)
+        extra_ids = sort_nodes(
+            u for u in self.id_changes if u not in self.initial_ids
+        )
+        state: dict = {
+            "classes": classes,
+            "dirty_roots": sort_nodes(self._dirty_roots),
+            "extra_counter_nodes": [check(u) for u in extra_ids],
+        }
+        for name in ("id_changes", "messages_sent", "messages_received"):
+            counter = getattr(self, name)
+            entries = [(check(u), c) for u, c in counter.items() if c]
+            try:
+                entries.sort()
+            except TypeError:
+                entries.sort(key=repr)
+            # Flat [u0, c0, u1, c1, ...] — most live nodes have nonzero
+            # counts, so this is an O(n) array serialized every
+            # checkpoint; halving the container count roughly halves
+            # its json cost.
+            flat: list = []
+            for pair in entries:
+                flat.extend(pair)
+            state[name] = flat
+        for name in self._SCALARS:
+            state[name] = getattr(self, name)
+        return state
+
+    def import_state(self, state: Mapping) -> None:
+        """Restore an :meth:`export_state` payload onto a freshly
+        constructed tracker (same ``graph``/``healing_graph``/
+        ``initial_ids``). Raises :class:`~repro.errors.CheckpointError`
+        on structural corruption (duplicate labels, overlapping
+        classes)."""
+        parent: dict[Node, Node] = {}
+        root_label: dict[Node, NodeId] = {}
+        root_members: dict[Node, set[Node]] = {}
+        label_root: dict[NodeId, Node] = {}
+        for root, label, members in state["classes"]:
+            label = tuple(label)
+            if label in label_root or root in root_members:
+                raise CheckpointError(
+                    f"corrupt tracker state: duplicate class {root!r}/"
+                    f"{label!r}"
+                )
+            mset = set(members)
+            for u in mset:
+                if u in parent and parent[u] != u:
+                    raise CheckpointError(
+                        f"corrupt tracker state: node {u!r} in two classes"
+                    )
+                parent[u] = root
+            parent[root] = root
+            root_label[root] = label
+            root_members[root] = mset
+            label_root[label] = root
+        # Every other ever-tracked node is a non-root tombstone: a bare
+        # self-root with no metadata (keeps the add_node re-add guard
+        # honest, same as rebuild_from_healing_graph).
+        for u in self.initial_ids:
+            parent.setdefault(u, u)
+        for u in state["extra_counter_nodes"]:
+            parent.setdefault(u, u)
+        self._parent = parent
+        self._root_label = root_label
+        self._root_members = root_members
+        self._label_root = label_root
+        self._dirty_roots = set(state["dirty_roots"])
+        for name in ("id_changes", "messages_sent", "messages_received"):
+            counter = {u: 0 for u in self.initial_ids}
+            for u in state["extra_counter_nodes"]:
+                counter.setdefault(u, 0)
+            flat = state[name]
+            if len(flat) % 2:
+                raise CheckpointError(
+                    f"corrupt tracker state: odd-length {name} array"
+                )
+            it = iter(flat)
+            for u, c in zip(it, it):
+                if u not in counter:
+                    raise CheckpointError(
+                        f"corrupt tracker state: counter entry for "
+                        f"untracked node {u!r}"
+                    )
+                counter[u] = c
+            setattr(self, name, counter)
+        for name in self._SCALARS:
+            setattr(self, name, state[name])
 
     def rebuild_from_healing_graph(self) -> None:
         """Recompute every class from G′ connectivity, labelling each

@@ -56,7 +56,7 @@ from repro.core.binary_tree import (
     star_edges,
 )
 from repro.errors import ConfigurationError
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, rng_state_from_json, rng_state_to_json
 
 __all__ = [
     "NoHeal",
@@ -189,6 +189,12 @@ class RandomOrderDash(Healer):
 
     def reset(self) -> None:
         self._rng = make_rng(self._seed)
+
+    def export_state(self) -> dict:
+        return {"rng": rng_state_to_json(self._rng)}
+
+    def import_state(self, state: dict) -> None:
+        rng_state_from_json(state["rng"], self._rng)
 
     def plan(self, snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
         ordered = sorted(

@@ -20,7 +20,7 @@ from typing import Hashable, Protocol
 
 from repro.distributed.messages import Message, MsgKind
 from repro.errors import ProtocolError
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, rng_state_from_json, rng_state_to_json
 
 __all__ = ["SyncEngine", "Process"]
 
@@ -65,6 +65,17 @@ class SyncEngine:
         self.received_by_node: dict[Node, dict[MsgKind, int]] = defaultdict(
             lambda: defaultdict(int)
         )
+
+    def rng_state(self) -> dict:
+        """JSON-safe snapshot of the jitter RNG (the engine's only
+        stochastic state); pairs with :meth:`restore_rng_state` so a
+        long asynchronous-model run can be frozen and resumed with the
+        identical delay stream."""
+        return rng_state_to_json(self._rng)
+
+    def restore_rng_state(self, payload: dict) -> None:
+        """Restore the jitter RNG from a :meth:`rng_state` snapshot."""
+        rng_state_from_json(payload, self._rng)
 
     # ------------------------------------------------------------------
     # Membership

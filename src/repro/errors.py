@@ -73,6 +73,49 @@ class ProtocolError(ReproError):
     """A distributed protocol message was malformed or unexpected."""
 
 
+class CheckpointError(ReproError):
+    """A campaign checkpoint could not be written, read, or applied.
+
+    Raised for unreadable/corrupt checkpoint files, version mismatches,
+    and components whose mid-campaign state cannot be serialized (e.g.
+    an adversary with a live agenda generator).
+    """
+
+
+class SimulatedCrash(ReproError):
+    """A fault injected by :mod:`repro.recovery.faults` fired.
+
+    Never raised by production code paths; tests use it to stop a
+    campaign at a deterministic point and exercise resume.
+    """
+
+
+class SweepExecutionError(SimulationError):
+    """One or more sweep cells failed after exhausting their retries.
+
+    Unlike a bare worker exception, this error names every failed
+    ``(experiment, size, healer, rep)`` cell and keeps the completed
+    cells' outputs, so a mostly-successful sweep is not a total loss.
+
+    Attributes
+    ----------
+    failures:
+        ``CellFailure`` records (see :mod:`repro.sim.parallel`), one per
+        permanently failed cell.
+    completed:
+        ``{task_index: output}`` for every cell that did succeed.
+    """
+
+    def __init__(self, failures, completed) -> None:
+        self.failures = list(failures)
+        self.completed = dict(completed)
+        cells = ", ".join(repr(f.cell) for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed permanently "
+            f"({len(self.completed)} completed): {cells}"
+        )
+
+
 class InvariantViolation(ReproError, AssertionError):
     """A paper invariant (forest property, degree bound, ...) was violated.
 

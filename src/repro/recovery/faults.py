@@ -1,0 +1,125 @@
+"""Deterministic fault injection for the recovery tests and CI chaos leg.
+
+Crash-safety claims are only as good as the crashes they were tested
+against, so every fault here is *seeded and reproducible*:
+
+* :class:`CrashAtRound` — a metric-shaped injector that raises
+  :class:`~repro.errors.SimulatedCrash` after observing the N-th round,
+  killing a campaign in-process at an exactly chosen point. Marked
+  ``checkpoint_exempt``, so it never appears in checkpoints: the resumed
+  campaign runs *without* the fault, exactly like a real crash-and-
+  restart.
+* :func:`kill_self` — a genuine ``SIGKILL`` to the current process, for
+  subprocess-driven tests where "no cleanup, no atexit, no flush" must
+  be literal. Refuses to fire outside a child process unless forced.
+* :func:`crash_once` — a sentinel-file latch so a subprocess driver
+  crashes on its first run and completes on the retry.
+* :func:`truncate_file` — chops the tail off a checkpoint or ledger to
+  simulate a torn write that the atomic-rename/sha256 defenses must
+  reject.
+* :func:`chaos_round` — derives the crash round from a seed so the CI
+  chaos matrix explores different crash points without hand-picking.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from pathlib import Path
+
+from repro.errors import ConfigurationError, SimulatedCrash
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "CrashAtRound",
+    "kill_self",
+    "crash_once",
+    "truncate_file",
+    "chaos_round",
+]
+
+
+class CrashAtRound:
+    """Raise :class:`SimulatedCrash` after the ``crash_round``-th round.
+
+    Quacks like a :class:`~repro.sim.metrics.Metric` so it can ride any
+    campaign's ``metrics=`` list. Rounds are counted by distinct event
+    ``step`` values (a batch round emits one event per victim component,
+    all sharing a step). ``checkpoint_exempt`` keeps it out of
+    checkpoints: the resumed campaign continues fault-free, exactly like
+    a real crash-and-restart.
+    """
+
+    #: excluded from checkpoint payloads (see
+    #: :func:`repro.recovery.checkpoint._checkpointed_metrics`)
+    checkpoint_exempt = True
+    checkpointable = False
+
+    def __init__(self, crash_round: int) -> None:
+        if crash_round < 1:
+            raise ConfigurationError(
+                f"crash_round must be >= 1, got {crash_round}"
+            )
+        self.crash_round = crash_round
+        self._seen_steps: set[int] = set()
+
+    def on_event(self, network, event) -> None:
+        # Batch rounds emit one event per victim component, all sharing
+        # one ``step``; distinct steps == completed rounds.
+        self._seen_steps.add(event.step)
+        if len(self._seen_steps) >= self.crash_round:
+            raise SimulatedCrash(
+                f"injected crash after round {self.crash_round} "
+                f"(step {event.step})"
+            )
+
+    def finalize(self, network) -> dict:
+        return {}
+
+
+def kill_self(*, force: bool = False) -> None:
+    """``SIGKILL`` the current process — no exception, no cleanup.
+
+    Guarded so a test helper imported into the wrong place cannot nuke
+    the pytest process: fires only when this process looks like a child
+    (``REPRO_CRASH_OK`` set by the subprocess driver) unless ``force``.
+    """
+    if not force and os.environ.get("REPRO_CRASH_OK") != "1":
+        raise ConfigurationError(
+            "refusing to SIGKILL: set REPRO_CRASH_OK=1 in the child "
+            "environment (or pass force=True)"
+        )
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def crash_once(state_dir: str | Path, key: str) -> bool:
+    """One-shot latch: ``True`` (and latched) the first call for ``key``,
+    ``False`` ever after.
+
+    The sentinel is written *before* returning ``True``, so a driver
+    that crashes immediately afterwards still finds the latch set on
+    retry — the same discipline as writing the checkpoint before the
+    round that might kill you.
+    """
+    sentinel = Path(state_dir) / f"crashed-{key}.sentinel"
+    if sentinel.exists():
+        return False
+    sentinel.parent.mkdir(parents=True, exist_ok=True)
+    sentinel.touch()
+    return True
+
+
+def truncate_file(path: str | Path, *, drop_bytes: int = 16) -> None:
+    """Simulate a torn write by truncating ``drop_bytes`` off the tail."""
+    target = Path(path)
+    size = target.stat().st_size
+    with open(target, "r+b") as fh:
+        fh.truncate(max(0, size - drop_bytes))
+
+
+def chaos_round(seed: int, *, low: int = 1, high: int = 40) -> int:
+    """A deterministic crash round in ``[low, high]`` for chaos seed
+    ``seed`` — how the CI matrix varies crash points reproducibly."""
+    if low < 1 or high < low:
+        raise ConfigurationError(f"bad chaos range [{low}, {high}]")
+    return make_rng(seed).randint(low, high)

@@ -376,11 +376,25 @@ class Registry(Mapping):
         ) and "seed" not in positional:
             kwargs.setdefault("seed", seed)
         try:
-            return self.factory(name)(*args, **kwargs)
+            component = self.factory(name)(*args, **kwargs)
         except TypeError as exc:
             raise ConfigurationError(
                 f"cannot build {self.kind} {spec!r}: {exc}"
             ) from exc
+        # Provenance: record how the component was built so a checkpoint
+        # can rebuild an equivalent instance at resume (the arguments
+        # *after* injection — same seed, same forced values). Components
+        # with __slots__ (e.g. Graph) simply go without.
+        try:
+            component._registry_provenance = {
+                "registry": self.kind,
+                "name": name,
+                "args": list(args),
+                "kwargs": dict(kwargs),
+            }
+        except (AttributeError, TypeError):
+            pass
+        return component
 
 
 def component_registries() -> dict[str, Registry]:

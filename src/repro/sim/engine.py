@@ -32,7 +32,8 @@ campaigns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Hashable, Sequence
 
 from repro.adversary.base import Adversary
 from repro.core.base import Healer
@@ -40,6 +41,10 @@ from repro.core.network import HealEvent, SelfHealingNetwork
 from repro.errors import ConfigurationError, SimulationError
 from repro.graph.graph import Graph
 from repro.sim.metrics import Metric
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recovery.checkpoint import CampaignRecorder
+    from repro.recovery.ledger import CampaignLedger
 
 __all__ = ["SimulationResult", "run_campaign"]
 
@@ -81,6 +86,9 @@ def run_campaign(
     keep_network: bool = False,
     batch_fast_path: bool = True,
     batch_rounds: bool | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    ledger: "CampaignLedger | str | Path | None" = None,
 ) -> SimulationResult:
     """Run one campaign: attack in rounds until exhaustion or a stop.
 
@@ -123,6 +131,16 @@ def run_campaign(
         rounds. ``None`` (default) follows the adversary's declared
         :attr:`~repro.adversary.base.Adversary.batch_rounds` protocol
         flag — the right choice everywhere outside differential tests.
+    checkpoint_every / checkpoint_dir:
+        Write a full-state checkpoint to ``checkpoint_dir`` every
+        ``checkpoint_every`` rounds (plus one at round 0), from which
+        :func:`repro.recovery.checkpoint.resume_campaign` continues a
+        killed campaign byte-identically. Requires every participating
+        component to be checkpointable (validated up front).
+    ledger:
+        A :class:`~repro.recovery.ledger.CampaignLedger` (or a path to
+        open one) receiving an append-only, fsync'd record per round —
+        the durable audit trail resume-from-crash starts from.
     """
     if stop_alive < 0:
         raise ConfigurationError(f"stop_alive must be >= 0, got {stop_alive}")
@@ -144,8 +162,75 @@ def run_campaign(
     if batch_rounds is None:
         batch_rounds = getattr(adversary, "batch_rounds", False)
 
-    rounds = 0
-    deletions = 0
+    recorder = None
+    if (
+        checkpoint_every is not None
+        or checkpoint_dir is not None
+        or ledger is not None
+    ):
+        # Imported lazily: campaigns that never checkpoint must not pay
+        # for (or depend on) the recovery subsystem.
+        from repro.recovery.checkpoint import CampaignRecorder
+
+        recorder = CampaignRecorder.begin(
+            network=network,
+            adversary=adversary,
+            metrics=metrics,
+            params={
+                "id_seed": id_seed,
+                "stop_alive": stop_alive,
+                "max_rounds": max_rounds,
+                "max_deletions": max_deletions,
+                "check_invariants": check_invariants,
+                "keep_events": keep_events,
+                "keep_network": keep_network,
+                "batch_fast_path": batch_fast_path,
+                "batch_rounds": batch_rounds,
+            },
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            ledger=ledger,
+        )
+
+    return _drive_campaign(
+        network=network,
+        adversary=adversary,
+        metrics=metrics,
+        batch_rounds=batch_rounds,
+        stop_alive=stop_alive,
+        max_rounds=max_rounds,
+        max_deletions=max_deletions,
+        rounds=0,
+        deletions=0,
+        keep_events=keep_events,
+        keep_network=keep_network,
+        recorder=recorder,
+    )
+
+
+def _drive_campaign(
+    *,
+    network: SelfHealingNetwork,
+    adversary: Adversary,
+    metrics: Sequence[Metric],
+    batch_rounds: bool,
+    stop_alive: int,
+    max_rounds: int | None,
+    max_deletions: int | None,
+    rounds: int,
+    deletions: int,
+    keep_events: bool,
+    keep_network: bool,
+    recorder: "CampaignRecorder | None" = None,
+) -> SimulationResult:
+    """The campaign loop proper, on an already-initialized network.
+
+    :func:`run_campaign` enters here at round 0;
+    :func:`repro.recovery.checkpoint.resume_campaign` enters with a
+    network restored mid-campaign and the surviving round/deletion
+    counters — byte-identical continuation falls out of sharing this one
+    loop rather than approximating it.
+    """
     while network.num_alive > stop_alive and network.num_alive > 0:
         if max_rounds is not None and rounds >= max_rounds:
             break
@@ -181,6 +266,8 @@ def run_campaign(
         for metric in metrics:
             for event in events:
                 metric.on_event(network, event)
+        if recorder is not None:
+            recorder.after_round(rounds, deletions, victims)
 
     # Metrics probes are queries: settle any lazily-deferred relabelling
     # so finalize() reads fully-resolved tracker accounting (no-op for
@@ -196,7 +283,7 @@ def run_campaign(
             )
         values.update(out)
 
-    return SimulationResult(
+    result = SimulationResult(
         initial_n=network.initial_n,
         deletions=deletions,
         final_alive=network.num_alive,
@@ -205,3 +292,6 @@ def run_campaign(
         events=list(network.events) if keep_events else None,
         network=network if keep_network else None,
     )
+    if recorder is not None:
+        recorder.finish(result, rounds)
+    return result

@@ -29,7 +29,9 @@ spec didn't pin one.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.adversary import ADVERSARIES
@@ -95,6 +97,13 @@ class ExperimentSpec:
     #: additional metric spec strings (e.g. ``("components",
     #: "capacity:headroom=2")``) appended to the default set
     extra_metrics: Sequence[str] = ()
+    #: crash safety: write a checkpoint every N rounds per cell (None =
+    #: off; requires ``recovery_dir``)
+    checkpoint_every: int | None = None
+    #: directory receiving one ``<cell>/campaign.jsonl`` ledger (and,
+    #: with ``checkpoint_every``, a ``<cell>/checkpoints/`` directory)
+    #: per sweep cell; None disables all crash-safety bookkeeping
+    recovery_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -114,6 +123,22 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"max_waves must be >= 0, got {self.max_waves}"
             )
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 1:
+                raise ConfigurationError(
+                    f"checkpoint_every must be >= 1, got "
+                    f"{self.checkpoint_every}"
+                )
+            if self.recovery_dir is None:
+                raise ConfigurationError(
+                    "checkpoint_every requires recovery_dir"
+                )
+            if self.measure_stretch:
+                raise ConfigurationError(
+                    "measure_stretch is incompatible with checkpointing "
+                    "(StretchMetric holds the pristine graph and cannot "
+                    "be serialized)"
+                )
         # Fail fast: a typo'd component name or argument should explode
         # here, at construction, not deep inside a worker process.
         GENERATORS.validate_spec(
@@ -190,6 +215,20 @@ def _build_metrics(
     return metrics
 
 
+def _cell_recovery_dir(
+    spec: ExperimentSpec, size: int, healer_name: str, rep: int
+) -> Path:
+    """Each cell gets its own ledger/checkpoint directory, named by its
+    identity tuple (spec strings sanitized for the filesystem)."""
+    safe_healer = re.sub(r"[^A-Za-z0-9_.-]+", "_", healer_name)
+    assert spec.recovery_dir is not None
+    return (
+        Path(spec.recovery_dir)
+        / re.sub(r"[^A-Za-z0-9_.-]+", "_", spec.name)
+        / f"n{size}-{safe_healer}-r{rep}"
+    )
+
+
 def run_task(
     spec: ExperimentSpec, size: int, healer_name: str, rep: int
 ) -> tuple[dict, dict]:
@@ -217,6 +256,14 @@ def run_task(
     )
     metrics = _build_metrics(spec, original, stretch_seed)
 
+    recovery: dict = {}
+    if spec.recovery_dir is not None:
+        cell_dir = _cell_recovery_dir(spec, size, healer_name, rep)
+        recovery["ledger"] = cell_dir / "campaign.jsonl"
+        if spec.checkpoint_every is not None:
+            recovery["checkpoint_every"] = spec.checkpoint_every
+            recovery["checkpoint_dir"] = cell_dir / "checkpoints"
+
     result = run_campaign(
         graph,
         healer,
@@ -227,6 +274,7 @@ def run_task(
         max_rounds=spec.max_waves,
         max_deletions=spec.max_deletions,
         check_invariants=spec.check_invariants,
+        **recovery,
     )
     params = {
         "experiment": spec.name,
@@ -263,12 +311,18 @@ def run_experiment(
     *,
     jobs: int | None = None,
     progress: bool = False,
+    timeout: float | None = None,
+    retries: int = 2,
 ) -> ResultSet:
-    """Run the full sweep; ``jobs`` > 1 shards cells over processes."""
+    """Run the full sweep; ``jobs`` > 1 shards cells over supervised
+    processes (``timeout``/``retries`` forwarded to
+    :func:`repro.sim.parallel.run_tasks`)."""
     from repro.sim.parallel import run_tasks
 
     tasks = expand_tasks(spec)
-    outputs = run_tasks(tasks, jobs=jobs, progress=progress)
+    outputs = run_tasks(
+        tasks, jobs=jobs, progress=progress, timeout=timeout, retries=retries
+    )
     results = ResultSet()
     for params, values in outputs:
         results.add(params, values)

@@ -29,8 +29,9 @@ needs the pristine ``original`` graph; sweeps request it through
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, ClassVar
 
+from repro.errors import CheckpointError
 from repro.graph.graph import Graph
 from repro.graph.traversal import connected_components, is_connected
 from repro.registry import Registry
@@ -58,6 +59,12 @@ __all__ = [
 class Metric(abc.ABC):
     """Observes heal events; reports named scalar results."""
 
+    #: whether mid-campaign state round-trips through
+    #: :meth:`export_state`/:meth:`import_state` (metrics holding
+    #: non-serializable machinery — e.g. stretch's APSP computer over the
+    #: pristine graph — set this False and block checkpointed campaigns)
+    checkpointable: ClassVar[bool] = True
+
     def on_event(
         self, network: "SelfHealingNetwork", event: "HealEvent"
     ) -> None:
@@ -66,6 +73,24 @@ class Metric(abc.ABC):
     @abc.abstractmethod
     def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
         """Called once at run end; returns {metric_name: value}."""
+
+    def export_state(self) -> dict:
+        """JSON-serializable accumulated state (checkpoint protocol).
+
+        The default captures the instance ``__dict__`` wholesale, which
+        covers every metric in this module: their state is counters,
+        rounds, and scalar accumulators. A metric with non-serializable
+        attributes must override (or declare ``checkpointable = False``).
+        """
+        if not self.checkpointable:
+            raise CheckpointError(
+                f"metric {type(self).__name__} is not checkpointable"
+            )
+        return dict(vars(self))
+
+    def import_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output on a fresh instance."""
+        self.__dict__.update(state)
 
 
 class DegreeMetric(Metric):
@@ -216,6 +241,10 @@ class EdgeBudgetMetric(Metric):
 class StretchMetric(Metric):
     """Fig. 10: running max (and last) stretch vs. the original graph.
 
+    Not checkpointable: it owns a :class:`StretchComputer` over the
+    pristine original graph (APSP caches and all), which has no JSON
+    representation — run stretch campaigns straight through.
+
     Parameters
     ----------
     original:
@@ -231,6 +260,8 @@ class StretchMetric(Metric):
         paper's plots likewise show stretch while the network is
         meaningfully large).
     """
+
+    checkpointable: ClassVar[bool] = False
 
     def __init__(
         self,

@@ -1,4 +1,4 @@
-"""Process-parallel execution of experiment sweeps.
+"""Supervised process-parallel execution of experiment sweeps.
 
 Experiment cells are embarrassingly parallel and fully determined by
 their (spec, size, healer, repetition) tuple, so we shard them over a
@@ -6,26 +6,53 @@ their (spec, size, healer, repetition) tuple, so we shard them over a
 "independent tasks + explicit task descriptors, no shared state" MPI
 idiom. Determinism is preserved because every cell derives its own seeds
 from the spec (see :mod:`repro.sim.experiment`); results are returned in
-task order regardless of completion order. The progress ticker advances
-on every *completed* future (``as_completed``), not on in-order result
-consumption, so it moves smoothly instead of jumping in chunk-sized
-bursts when slow cells head the queue.
+task order regardless of completion order.
 
-``jobs=None`` or ``jobs<=1`` runs serially in-process, which is also the
-fallback when the platform cannot fork (the worker function and specs are
-picklable, so spawn works too, just slower to start).
+The pool is *supervised*, in the self-healing spirit of the paper it
+serves: a sweep should degrade gracefully under worker failure, not die
+with a bare ``BrokenProcessPool`` and no word on which cell was lost.
+
+* a cell that raises gets bounded retries with exponential backoff
+  (transient failures — OOM-killed sibling, flaky filesystem — usually
+  clear on a fresh process);
+* a cell that exceeds ``timeout`` seconds is aborted in-worker (POSIX
+  ``SIGALRM``; elsewhere the timeout is best-effort unenforced) and
+  retried like any failure;
+* a worker killed hard (SIGKILL, OOM) breaks the whole executor —
+  ``BrokenProcessPool`` poisons every pending future. The supervisor
+  rebuilds the pool a bounded number of times and requeues only the
+  cells that had not completed, without charging their retry budget
+  (the kill happened *to* them, not *because of* them); if pools keep
+  breaking, the survivors run serially in-process as a last resort;
+* cells that still fail after all that are reported per-cell — a
+  :class:`~repro.errors.SweepExecutionError` carries every
+  :class:`CellFailure` (with its ``(spec, size, healer, rep)`` identity
+  and attempt count) plus the results of all completed cells, so a
+  thousand-cell sweep never forfeits 999 results to one bad cell.
+
+``jobs=None`` or ``jobs<=1`` runs serially in-process with the same
+retry/timeout/failure-report semantics.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import sys
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Sequence
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
+from repro.errors import SweepExecutionError
 from repro.sim.experiment import run_task
 
-__all__ = ["run_tasks", "default_jobs"]
+__all__ = ["run_tasks", "default_jobs", "CellFailure"]
+
+#: how many times a freshly built pool may break before the supervisor
+#: gives up on process parallelism for the surviving cells
+_MAX_POOL_REBUILDS = 3
 
 
 def default_jobs() -> int:
@@ -34,9 +61,42 @@ def default_jobs() -> int:
     return min(os.cpu_count() or 1, 8)
 
 
+@dataclass
+class CellFailure:
+    """One sweep cell that failed permanently (all retries exhausted)."""
+
+    #: ``(spec name, size, healer, rep)`` — enough to re-run the cell
+    cell: tuple
+    attempts: int
+    error: str
+
+
+def _cell_id(task: tuple) -> tuple:
+    spec, size, healer, rep = task
+    return (getattr(spec, "name", str(spec)), size, healer, rep)
+
+
 def _run_cell(task) -> tuple[dict, dict]:
     spec, size, healer, rep = task
     return run_task(spec, size, healer, rep)
+
+
+def _timeout_handler(signum, frame):  # pragma: no cover - fires in worker
+    raise TimeoutError("cell exceeded its time budget")
+
+
+def _supervised_cell(task, worker, timeout) -> tuple[dict, dict]:
+    """Run one cell, enforcing ``timeout`` in-worker where the platform
+    can (POSIX ``SIGALRM``); runs in the pool's worker process."""
+    if timeout is not None and hasattr(signal, "SIGALRM"):
+        previous = signal.signal(signal.SIGALRM, _timeout_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return worker(task)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return worker(task)
 
 
 def run_tasks(
@@ -44,8 +104,13 @@ def run_tasks(
     *,
     jobs: int | None = None,
     progress: bool = False,
+    worker: Callable[[tuple], tuple[dict, dict]] | None = None,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.5,
+    serial_fallback: bool = True,
 ) -> list[tuple[dict, dict]]:
-    """Execute sweep cells, serially or across processes.
+    """Execute sweep cells, serially or across supervised processes.
 
     Parameters
     ----------
@@ -56,29 +121,193 @@ def run_tasks(
         Number of worker processes. ``None``/0/1 → serial.
     progress:
         Print a one-line progress ticker to stderr.
-    """
-    total = len(tasks)
-    outputs: list[tuple[dict, dict]] = []
+    worker:
+        The per-cell callable (default: :func:`repro.sim.experiment.run_task`
+        via the standard unpacking). Must be picklable for ``jobs > 1``.
+        Exposed for the fault-injection tests.
+    timeout:
+        Per-cell wall-clock budget in seconds (enforced in-worker on
+        POSIX; a timed-out attempt counts as a failure and is retried).
+    retries:
+        Extra attempts after a cell's first failure (so ``retries=2``
+        means at most 3 attempts).
+    backoff:
+        Base of the exponential backoff between a cell's attempts:
+        attempt *k* retries after ``backoff * 2**(k-1)`` seconds.
+    serial_fallback:
+        After :data:`_MAX_POOL_REBUILDS` broken pools, finish the
+        remaining cells serially in-process instead of failing them.
 
-    def tick(done: int) -> None:
+    Raises
+    ------
+    SweepExecutionError
+        If any cell fails permanently. The exception carries the
+        per-cell :class:`CellFailure` reports *and* the results of every
+        completed cell (``completed``, indexed by task position).
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    worker = worker or _run_cell
+    total = len(tasks)
+    completed: dict[int, tuple[dict, dict]] = {}
+    failures: list[CellFailure] = []
+
+    def tick() -> None:
         if progress:
+            done = len(completed) + len(failures)
             print(
                 f"\r  [{done}/{total}] cells complete", end="", file=sys.stderr
             )
             if done == total:
                 print(file=sys.stderr)
 
-    if not jobs or jobs <= 1:
-        for i, task in enumerate(tasks, 1):
-            outputs.append(_run_cell(task))
-            tick(i)
-        return outputs
+    def attempt_serial(index: int, attempts_used: int) -> None:
+        """Run one cell in-process with the same retry budget."""
+        attempts = attempts_used
+        while True:
+            attempts += 1
+            try:
+                completed[index] = _supervised_cell(
+                    tasks[index], worker, timeout
+                )
+                return
+            except BaseException as exc:  # noqa: BLE001 - reported per-cell
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                if attempts > retries:
+                    failures.append(
+                        CellFailure(
+                            cell=_cell_id(tasks[index]),
+                            attempts=attempts,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    return
+                time.sleep(backoff * (2 ** (attempts - 1)))
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_run_cell, task) for task in tasks]
-        for done, _ in enumerate(as_completed(futures), 1):
-            tick(done)
-        # Collect in task order (completion order only drove the ticker);
-        # .result() re-raises the first worker exception, if any.
-        outputs = [f.result() for f in futures]
-    return outputs
+    if not jobs or jobs <= 1:
+        for index in range(total):
+            attempt_serial(index, 0)
+            tick()
+    else:
+        _run_supervised_pool(
+            tasks,
+            worker=worker,
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            serial_fallback=serial_fallback,
+            completed=completed,
+            failures=failures,
+            attempt_serial=attempt_serial,
+            tick=tick,
+        )
+
+    if failures:
+        raise SweepExecutionError(failures, completed)
+    return [completed[i] for i in range(total)]
+
+
+def _run_supervised_pool(
+    tasks: Sequence[tuple],
+    *,
+    worker,
+    jobs: int,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    serial_fallback: bool,
+    completed: dict,
+    failures: list,
+    attempt_serial,
+    tick,
+) -> None:
+    """The supervisor loop: submit, wait, retry, survive broken pools."""
+    attempts: dict[int, int] = {i: 0 for i in range(len(tasks))}
+    pending: set[int] = set(attempts)
+    rebuilds = 0
+
+    while pending:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        future_index = {
+            pool.submit(_supervised_cell, tasks[i], worker, timeout): i
+            for i in sorted(pending)
+        }
+        broken = False
+        try:
+            not_done = set(future_index)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = future_index[future]
+                    try:
+                        completed[index] = future.result()
+                        pending.discard(index)
+                        tick()
+                    except BrokenProcessPool:
+                        # One hard-killed worker poisons every pending
+                        # future; stop collecting and rebuild. The
+                        # incomplete cells are requeued without charging
+                        # their retry budget — the kill happened to
+                        # them, not because of them.
+                        broken = True
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException as exc:  # noqa: BLE001
+                        attempts[index] += 1
+                        if attempts[index] > retries:
+                            failures.append(
+                                CellFailure(
+                                    cell=_cell_id(tasks[index]),
+                                    attempts=attempts[index],
+                                    error=f"{type(exc).__name__}: {exc}",
+                                )
+                            )
+                            pending.discard(index)
+                            tick()
+                        else:
+                            time.sleep(
+                                backoff * (2 ** (attempts[index] - 1))
+                            )
+                            if not broken:
+                                try:
+                                    retry = pool.submit(
+                                        _supervised_cell,
+                                        tasks[index],
+                                        worker,
+                                        timeout,
+                                    )
+                                except BrokenProcessPool:
+                                    broken = True
+                                else:
+                                    future_index[retry] = index
+                                    not_done.add(retry)
+                if broken:
+                    break
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        if not broken:
+            break
+        rebuilds += 1
+        if rebuilds >= _MAX_POOL_REBUILDS:
+            if serial_fallback:
+                for index in sorted(pending):
+                    attempt_serial(index, attempts[index])
+                    tick()
+                pending.clear()
+            else:
+                for index in sorted(pending):
+                    failures.append(
+                        CellFailure(
+                            cell=_cell_id(tasks[index]),
+                            attempts=attempts[index],
+                            error=(
+                                "BrokenProcessPool: worker pool broke "
+                                f"{rebuilds} times; serial fallback disabled"
+                            ),
+                        )
+                    )
+                pending.clear()
+            break

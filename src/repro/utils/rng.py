@@ -13,9 +13,15 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["make_rng", "spawn_seeds", "derive_seed"]
+__all__ = [
+    "make_rng",
+    "spawn_seeds",
+    "derive_seed",
+    "rng_state_to_json",
+    "rng_state_from_json",
+]
 
 #: Upper bound (exclusive) for derived integer seeds. Fits in 63 bits so
 #: the values survive round-trips through numpy, json, and C extensions.
@@ -60,6 +66,50 @@ def spawn_seeds(master_seed: int, count: int, *labels: object) -> list[int]:
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count}")
     return [derive_seed(master_seed, *labels, i) for i in range(count)]
+
+
+def rng_state_to_json(rng: random.Random) -> dict:
+    """Serialize ``rng``'s full Mersenne-Twister state to a JSON-safe dict.
+
+    The payload round-trips exactly through :func:`rng_state_from_json`
+    (same future draw sequence), which is what lets campaign checkpoints
+    freeze a stochastic adversary or healer mid-run and resume it to a
+    byte-identical stream. The three-part tuple from
+    :meth:`random.Random.getstate` — version tag, 625-word internal
+    state, cached gauss value — maps onto plain ints/floats/None, all of
+    which survive ``json`` round-trips losslessly.
+    """
+    version, internal, gauss_next = rng.getstate()
+    return {
+        "version": version,
+        "state": list(internal),
+        "gauss_next": gauss_next,
+    }
+
+
+def rng_state_from_json(
+    payload: Mapping, rng: random.Random | None = None
+) -> random.Random:
+    """Restore an RNG from a :func:`rng_state_to_json` payload.
+
+    Mutates and returns ``rng`` when given (so callers can restore in
+    place); otherwise returns a fresh :class:`random.Random`. Raises
+    ``ValueError`` on a malformed payload (missing keys or a state
+    vector ``setstate`` rejects).
+    """
+    if rng is None:
+        rng = random.Random()
+    try:
+        rng.setstate(
+            (
+                payload["version"],
+                tuple(payload["state"]),
+                payload["gauss_next"],
+            )
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed RNG state payload: {exc}") from exc
+    return rng
 
 
 def choice_weighted(

@@ -1,0 +1,117 @@
+"""Tests for the append-only campaign ledger."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.recovery import CampaignLedger, latest_campaign, read_ledger
+
+
+class TestAppendAndRead:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with CampaignLedger(path) as ledger:
+            ledger.append({"type": "campaign", "n": 10})
+            ledger.append({"type": "round", "round": 1, "victims": [3]})
+            ledger.append({"type": "end", "values": {"waves": 1.0}})
+        records = read_ledger(path)
+        assert [r["type"] for r in records] == ["campaign", "round", "end"]
+        assert records[1]["victims"] == [3]
+
+    def test_append_mode_extends_existing_file(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with CampaignLedger(path) as ledger:
+            ledger.append({"type": "campaign"})
+        with CampaignLedger(path) as ledger:
+            ledger.append({"type": "round", "round": 1})
+        assert len(read_ledger(path)) == 2
+
+    def test_record_without_type_rejected(self, tmp_path):
+        with CampaignLedger(tmp_path / "l.jsonl") as ledger:
+            with pytest.raises(CheckpointError, match="'type'"):
+                ledger.append({"round": 1})
+
+    def test_append_after_close_raises(self, tmp_path):
+        ledger = CampaignLedger(tmp_path / "l.jsonl")
+        ledger.close()
+        with pytest.raises(CheckpointError, match="closed"):
+            ledger.append({"type": "round"})
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "l.jsonl"
+        with CampaignLedger(path) as ledger:
+            ledger.append({"type": "campaign"})
+        assert read_ledger(path)[0]["type"] == "campaign"
+
+
+class TestCrashTolerance:
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        with CampaignLedger(path) as ledger:
+            ledger.append({"type": "campaign"})
+            ledger.append({"type": "round", "round": 1})
+        # Simulate a crash mid-append: a partial record with no newline.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "rou')
+        records = read_ledger(path)
+        assert [r["type"] for r in records] == ["campaign", "round"]
+
+    def test_torn_tail_raises_in_strict_mode(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        with CampaignLedger(path) as ledger:
+            ledger.append({"type": "campaign"})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"truncat')
+        with pytest.raises(CheckpointError, match="corrupt ledger"):
+            read_ledger(path, strict=True)
+
+    def test_mid_file_corruption_always_raises(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        path.write_text(
+            '{"type": "campaign"}\ngarbage not json\n{"type": "end"}\n'
+        )
+        with pytest.raises(CheckpointError, match="line 2"):
+            read_ledger(path)
+
+    def test_non_object_record_rejected(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        path.write_text('{"type": "campaign"}\n[1, 2, 3]\n')
+        with pytest.raises(CheckpointError, match="expected an object"):
+            read_ledger(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_ledger(tmp_path / "absent.jsonl")
+
+
+class TestLatestCampaign:
+    def test_selects_newest_header(self, tmp_path):
+        records = [
+            {"type": "campaign", "run": 1},
+            {"type": "round", "round": 1},
+            {"type": "campaign", "run": 2},
+            {"type": "round", "round": 1},
+            {"type": "round", "round": 2},
+        ]
+        header, tail = latest_campaign(records)
+        assert header["run"] == 2
+        assert [r["round"] for r in tail] == [1, 2]
+
+    def test_no_header_raises(self):
+        with pytest.raises(CheckpointError, match="no campaign header"):
+            latest_campaign([{"type": "round"}])
+
+    def test_records_are_canonical_json_lines(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        with CampaignLedger(path) as ledger:
+            ledger.append({"type": "round", "b": 1, "a": 2})
+        line = path.read_text().strip()
+        # sort_keys + compact separators: stable, diffable, greppable
+        assert line == json.dumps(
+            {"a": 2, "b": 1, "type": "round"},
+            separators=(",", ":"),
+            sort_keys=True,
+        )

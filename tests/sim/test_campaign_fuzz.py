@@ -202,6 +202,89 @@ def test_fuzzer_shrinks_to_minimal_failing_spec():
     assert minimal == BARE_HEALERS[0]
 
 
+crash_specs = st.fixed_dictionaries(
+    {
+        "generator": generator_specs(),
+        "healer": healer_specs(),
+        "adversary": adversary_specs(),
+        "n": st.integers(10, 18),
+        "seed": st.integers(0, 2**20),
+        "crash_round": st.integers(1, 5),
+        "checkpoint_every": st.integers(1, 4),
+    }
+)
+
+
+def _build_campaign_components(spec: dict):
+    seed = spec["seed"]
+    graph = GENERATORS.make(
+        spec["generator"],
+        seed=derive_seed(seed, "generator"),
+        force={"n": spec["n"]},
+    )
+    healer = HEALERS.make(spec["healer"], seed=derive_seed(seed, "healer"))
+    adversary = ADVERSARIES.make(
+        spec["adversary"], seed=derive_seed(seed, "adversary")
+    )
+    from repro.sim.metrics import METRICS
+
+    return graph, healer, adversary, [METRICS.make("messages")]
+
+
+@given(spec=crash_specs)
+@settings(max_examples=25, deadline=None)
+def test_fuzzed_crash_resume_is_byte_identical(tmp_path_factory, spec):
+    """Inject a seeded crash at a fuzzed round into any checkpointable
+    campaign drawn from the live registries; resuming from the last
+    checkpoint must reproduce the uninterrupted run exactly — final
+    metric values AND the full HealEvent stream."""
+    from hypothesis import assume
+
+    from repro.errors import SimulatedCrash
+    from repro.recovery import CrashAtRound, resume_from_ledger
+
+    graph, healer, adversary, metrics = _build_campaign_components(spec)
+    assume(getattr(adversary, "checkpointable", False))
+
+    straight = run_campaign(
+        graph, healer, adversary,
+        id_seed=derive_seed(spec["seed"], "ids"),
+        metrics=metrics, keep_events=True,
+    )
+
+    graph2, healer2, adversary2, metrics2 = _build_campaign_components(spec)
+    state = tmp_path_factory.mktemp("crash")
+    ledger = state / "campaign.jsonl"
+    try:
+        resumed = run_campaign(
+            graph2, healer2, adversary2,
+            id_seed=derive_seed(spec["seed"], "ids"),
+            metrics=metrics2 + [CrashAtRound(spec["crash_round"])],
+            keep_events=True,
+            checkpoint_every=spec["checkpoint_every"],
+            checkpoint_dir=state / "checkpoints",
+            ledger=ledger,
+        )
+        # Campaign ended before the crash round fired — the crash-run
+        # result itself must already match.
+    except SimulatedCrash:
+        resumed = resume_from_ledger(ledger)
+
+    assert resumed.values == straight.values
+    assert (
+        resumed.initial_n,
+        resumed.deletions,
+        resumed.final_alive,
+        resumed.peak_delta,
+    ) == (
+        straight.initial_n,
+        straight.deletions,
+        straight.final_alive,
+        straight.peak_delta,
+    )
+    assert resumed.events == straight.events
+
+
 def test_seeded_violation_is_caught_every_round():
     """The per-round metric (not just campaign-end checks) is what trips
     on a mid-campaign corruption."""
