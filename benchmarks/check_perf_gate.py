@@ -15,6 +15,9 @@ bench job and fails the build if any hard-won speedup has slid back:
   traversal path — ≥ 2×;
 * naive healing (PR 5): interleaved full-kill GraphHeal campaign under
   lazy label invalidation vs the preserved eager BFS path — ≥ 2×;
+* array backend (PR 7): interleaved full-kill DASH campaign on the
+  slotted array backend (fused scalar kernel) vs the object backend —
+  ≥ 5×;
 * crash safety (PR 6): recorder-hook share of a checkpointed √n-wave
   campaign at ``checkpoint_every=32`` — ≤ 5% overhead (a ceiling, not
   a floor: this one guards the *cost* of running crash-safe).
@@ -61,6 +64,12 @@ GATES = [
         lambda e: e["speedup_vs_eager"],
         2.0,
         "lazy-label naive healing vs preserved eager BFS path (PR 5)",
+    ),
+    (
+        "campaign_dash_array_pa16000_m3",
+        lambda e: e["speedup_vs_object"],
+        5.0,
+        "array backend + fused kernel vs object backend (PR 7)",
     ),
 ]
 

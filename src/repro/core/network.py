@@ -28,6 +28,7 @@ from typing import Hashable, Iterable
 
 from repro.core.base import Healer, NeighborhoodSnapshot, ReconnectionPlan
 from repro.core.components import ComponentTracker, NodeId, make_node_ids
+from repro.core.components_array import ArrayComponentTracker
 from repro.errors import HealingError, NodeNotFoundError, SimulationError
 from repro.graph.degree_index import DegreeIndex
 from repro.graph.forest import is_forest
@@ -120,8 +121,7 @@ class SelfHealingNetwork:
         # δ-bucket index: every node starts at δ = 0 by definition; kept
         # current by tapping the graph's degree-mutation stream below.
         self._delta_index = DegreeIndex(self._delta_of)
-        for u in self.initial_degree:
-            self._delta_index.push(u, 0)
+        self._delta_index.push_many(self.initial_degree, 0)
         if graph.degree_listener is not None:
             raise SimulationError(
                 "graph already has a degree listener — it is owned by "
@@ -133,9 +133,17 @@ class SelfHealingNetwork:
             graph.nodes(), rng
         )
         # G′ never pays degree-index bookkeeping: nothing queries its
-        # degree extremes, so its lazy index is simply never built.
-        self.healing_graph = Graph(graph.nodes())
-        self.tracker = ComponentTracker(
+        # degree extremes, so its lazy index is simply never built. It
+        # shares G's backend (same class), and an array-backend graph
+        # gets the array tracker — both are byte-identical drop-ins, so
+        # nothing else in this class cares which backend runs.
+        self.healing_graph = type(graph)(graph.nodes())
+        tracker_cls = (
+            ArrayComponentTracker
+            if getattr(graph, "backend", "object") == "array"
+            else ComponentTracker
+        )
+        self.tracker = tracker_cls(
             graph=self.graph,
             healing_graph=self.healing_graph,
             initial_ids=self.initial_ids,

@@ -15,7 +15,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
-from repro.errors import NodeNotFoundError
+from repro.graph.csr import graph_to_csr
 from repro.graph.graph import Graph
 from repro.graph.traversal import bfs_distances
 
@@ -42,38 +42,6 @@ def all_pairs_distances(graph: Graph) -> dict[Node, dict[Node, int]]:
     :func:`distance_matrix` for the numeric fast path.
     """
     return {u: bfs_distances(graph, u) for u in graph.nodes()}
-
-
-def graph_to_csr(graph: Graph, order: Sequence[Node] | None = None):
-    """Convert ``graph`` to a scipy CSR adjacency matrix.
-
-    Returns ``(csr_matrix, order)`` where ``order[i]`` is the node label of
-    matrix row ``i``. Passing an explicit ``order`` lets callers keep a
-    consistent indexing across the original and healed graphs (needed for
-    stretch, where the two graphs share surviving labels).
-    """
-    from scipy.sparse import csr_matrix
-
-    if order is None:
-        order = list(graph.nodes())
-    index = {u: i for i, u in enumerate(order)}
-    if len(index) != len(order):
-        raise ValueError("order contains duplicate node labels")
-    rows: list[int] = []
-    cols: list[int] = []
-    for u in order:
-        if not graph.has_node(u):
-            raise NodeNotFoundError(u)
-        iu = index[u]
-        for v in graph.neighbors_view(u):
-            iv = index.get(v)
-            if iv is not None:
-                rows.append(iu)
-                cols.append(iv)
-    n = len(order)
-    data = np.ones(len(rows), dtype=np.int8)
-    mat = csr_matrix((data, (rows, cols)), shape=(n, n))
-    return mat, list(order)
 
 
 def distance_matrix(

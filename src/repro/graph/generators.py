@@ -17,6 +17,7 @@ import itertools
 import math
 
 from repro.errors import ConfigurationError
+from repro.graph.array_backend import new_graph
 from repro.graph.graph import Graph
 from repro.registry import Registry
 from repro.utils.rng import make_rng
@@ -42,7 +43,7 @@ __all__ = [
 
 
 def preferential_attachment(
-    n: int, m: int = 2, seed: int | None = None
+    n: int, m: int = 2, seed: int | None = None, *, backend: str = "object"
 ) -> Graph:
     """Barabási–Albert preferential-attachment graph on ``n`` nodes.
 
@@ -68,7 +69,7 @@ def preferential_attachment(
     if n < m + 1:
         raise ConfigurationError(f"n must be >= m+1 = {m + 1}, got {n}")
     rng = make_rng(seed)
-    g = Graph(range(n))
+    g = new_graph(range(n), backend)
     # Seed graph: a star on nodes 0..m (node m is the hub). Any connected
     # seed works; a star keeps the degree sequence non-degenerate for m=1.
     repeated: list[int] = []
@@ -85,14 +86,16 @@ def preferential_attachment(
     return g
 
 
-def erdos_renyi(n: int, p: float, seed: int | None = None) -> Graph:
+def erdos_renyi(
+    n: int, p: float, seed: int | None = None, *, backend: str = "object"
+) -> Graph:
     """G(n, p) random graph: each of the C(n,2) edges appears independently."""
     if not 0.0 <= p <= 1.0:
         raise ConfigurationError(f"p must be in [0, 1], got {p}")
     if n < 0:
         raise ConfigurationError(f"n must be >= 0, got {n}")
     rng = make_rng(seed)
-    g = Graph(range(n))
+    g = new_graph(range(n), backend)
     if p == 0.0:
         return g
     if p == 1.0:
@@ -113,7 +116,9 @@ def erdos_renyi(n: int, p: float, seed: int | None = None) -> Graph:
     return g
 
 
-def gnm_random(n: int, m: int, seed: int | None = None) -> Graph:
+def gnm_random(
+    n: int, m: int, seed: int | None = None, *, backend: str = "object"
+) -> Graph:
     """G(n, m) random graph: ``m`` distinct edges drawn uniformly."""
     max_edges = n * (n - 1) // 2
     if m > max_edges:
@@ -121,7 +126,7 @@ def gnm_random(n: int, m: int, seed: int | None = None) -> Graph:
             f"m={m} exceeds max edges {max_edges} for n={n}"
         )
     rng = make_rng(seed)
-    g = Graph(range(n))
+    g = new_graph(range(n), backend)
     added = 0
     while added < m:
         u = rng.randrange(n)
@@ -131,7 +136,9 @@ def gnm_random(n: int, m: int, seed: int | None = None) -> Graph:
     return g
 
 
-def random_tree(n: int, seed: int | None = None) -> Graph:
+def random_tree(
+    n: int, seed: int | None = None, *, backend: str = "object"
+) -> Graph:
     """Uniform random recursive tree on ``n`` nodes.
 
     Node ``i`` (``i >= 1``) attaches to a uniformly random node in
@@ -142,7 +149,7 @@ def random_tree(n: int, seed: int | None = None) -> Graph:
     if n < 1:
         raise ConfigurationError(f"n must be >= 1, got {n}")
     rng = make_rng(seed)
-    g = Graph(range(n))
+    g = new_graph(range(n), backend)
     for i in range(1, n):
         g.add_edge(i, rng.randrange(i))
     return g
@@ -187,7 +194,9 @@ def kary_level(node: int, branching: int) -> int:
     return level
 
 
-def complete_kary_tree(branching: int, depth: int) -> Graph:
+def complete_kary_tree(
+    branching: int, depth: int, *, backend: str = "object"
+) -> Graph:
     """Complete ``branching``-ary tree of the given ``depth`` in heap order.
 
     Node 0 is the root; node ``i > 0`` has parent ``(i-1) // branching``.
@@ -195,7 +204,7 @@ def complete_kary_tree(branching: int, depth: int) -> Graph:
     ``branching = M + 2``).
     """
     n = kary_tree_size(branching, depth)
-    g = Graph(range(n))
+    g = new_graph(range(n), backend)
     for i in range(1, n):
         g.add_edge(i, (i - 1) // branching)
     return g
@@ -204,48 +213,50 @@ def complete_kary_tree(branching: int, depth: int) -> Graph:
 # ----------------------------------------------------------------------
 # Deterministic fixed topologies
 # ----------------------------------------------------------------------
-def path_graph(n: int) -> Graph:
+def path_graph(n: int, *, backend: str = "object") -> Graph:
     """Simple path 0–1–…–(n−1)."""
-    g = Graph(range(n))
+    g = new_graph(range(n), backend)
     for i in range(n - 1):
         g.add_edge(i, i + 1)
     return g
 
 
-def cycle_graph(n: int) -> Graph:
+def cycle_graph(n: int, *, backend: str = "object") -> Graph:
     """Simple cycle on ``n >= 3`` nodes."""
     if n < 3:
         raise ConfigurationError(f"cycle needs n >= 3, got {n}")
-    g = path_graph(n)
+    g = path_graph(n, backend=backend)
     g.add_edge(n - 1, 0)
     return g
 
 
-def star_graph(n: int) -> Graph:
+def star_graph(n: int, *, backend: str = "object") -> Graph:
     """Star: node 0 is the hub, nodes 1..n−1 are leaves. ``n >= 1``."""
     if n < 1:
         raise ConfigurationError(f"star needs n >= 1, got {n}")
-    g = Graph(range(n))
+    g = new_graph(range(n), backend)
     for i in range(1, n):
         g.add_edge(0, i)
     return g
 
 
-def complete_graph(n: int) -> Graph:
+def complete_graph(n: int, *, backend: str = "object") -> Graph:
     """Clique on ``n`` nodes."""
-    g = Graph(range(n))
+    g = new_graph(range(n), backend)
     for u, v in itertools.combinations(range(n), 2):
         g.add_edge(u, v)
     return g
 
 
-def grid_graph(rows: int, cols: int) -> Graph:
+def grid_graph(
+    rows: int, cols: int, *, backend: str = "object"
+) -> Graph:
     """``rows`` × ``cols`` 4-neighbor grid, nodes labelled row-major."""
     if rows < 1 or cols < 1:
         raise ConfigurationError(
             f"grid needs rows, cols >= 1, got {rows}x{cols}"
         )
-    g = Graph(range(rows * cols))
+    g = new_graph(range(rows * cols), backend)
     for r in range(rows):
         for c in range(cols):
             u = r * cols + c
@@ -256,7 +267,10 @@ def grid_graph(rows: int, cols: int) -> Graph:
     return g
 
 
-def watts_strogatz(n: int, k: int, p: float, seed: int | None = None) -> Graph:
+def watts_strogatz(
+    n: int, k: int, p: float, seed: int | None = None, *,
+    backend: str = "object"
+) -> Graph:
     """Watts–Strogatz small-world graph (ring lattice + rewiring).
 
     ``k`` must be even and < n. Rewiring keeps the graph simple (rewired
@@ -268,7 +282,7 @@ def watts_strogatz(n: int, k: int, p: float, seed: int | None = None) -> Graph:
     if not 0.0 <= p <= 1.0:
         raise ConfigurationError(f"p must be in [0, 1], got {p}")
     rng = make_rng(seed)
-    g = Graph(range(n))
+    g = new_graph(range(n), backend)
     for u in range(n):
         for j in range(1, k // 2 + 1):
             g.add_edge(u, (u + j) % n)
@@ -306,3 +320,6 @@ GENERATORS: Registry = Registry(
     },
     injected=("n", "seed"),
 )
+#: short alias used throughout the benchmarks and docs
+#: ("pa:n=16000,backend=array")
+GENERATORS.alias("pa", "preferential_attachment")

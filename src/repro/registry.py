@@ -213,6 +213,17 @@ class Registry(Mapping):
 
         return _add if factory is None else _add(factory)
 
+    def alias(self, alias: str, name: str) -> None:
+        """Register ``alias`` as a second name for an existing component.
+
+        The alias shares the original's factory, so spec parsing,
+        signature probing, and seed/force injection all behave
+        identically (``"pa:n=100,backend=array"`` ≡
+        ``"preferential_attachment:n=100,backend=array"``). Aliases show
+        up in :meth:`names` like any other entry.
+        """
+        self.register(alias, self.factory(name))
+
     def names(self) -> list[str]:
         """All registered names, sorted."""
         return sorted(self._factories)

@@ -192,6 +192,34 @@ def run_campaign(
             ledger=ledger,
         )
 
+    if (
+        recorder is None
+        and not metrics
+        and not keep_events
+        and not keep_network
+    ):
+        # Scalar-only campaigns on the array backend can fuse the whole
+        # round loop into one kernel (imported lazily — object-backend
+        # campaigns never pay for it). Eligibility is narrow and
+        # differential-tested; see :mod:`repro.sim.fastpath`.
+        from repro.sim import fastpath
+
+        if fastpath.supports(
+            network,
+            adversary,
+            metrics=metrics,
+            batch_rounds=batch_rounds,
+            keep_events=keep_events,
+            keep_network=keep_network,
+        ):
+            return fastpath.run_fused(
+                network,
+                adversary,
+                stop_alive=stop_alive,
+                max_rounds=max_rounds,
+                max_deletions=max_deletions,
+            )
+
     return _drive_campaign(
         network=network,
         adversary=adversary,

@@ -1,0 +1,246 @@
+"""Tests for the slotted int-ID array graph backend.
+
+The contract under test is "exact ``Graph`` interface, different
+storage": every operation, return type, exception, and mutation-stream
+side effect must match the object backend byte-for-byte. The mirrored
+random-op test drives both backends through the same operation sequence
+and compares after every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ConfigurationError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    SelfLoopError,
+)
+from repro.graph.array_backend import BACKENDS, ArrayGraph, new_graph
+from repro.graph.graph import Graph
+
+
+def both(nodes=()):
+    return Graph(nodes), ArrayGraph(nodes)
+
+
+def assert_same(g: Graph, a: ArrayGraph):
+    assert a == g and g == a
+    assert a.num_nodes == g.num_nodes
+    assert a.num_edges == g.num_edges
+    assert sorted(a.nodes()) == sorted(g.nodes())
+    assert sorted(map(tuple, map(sorted, a.edges()))) == sorted(
+        map(tuple, map(sorted, g.edges()))
+    )
+    assert a.degrees() == g.degrees()
+    assert len(a) == len(g)
+
+
+class TestConstruction:
+    def test_range_bulk_path(self):
+        a = ArrayGraph(range(5))
+        assert sorted(a.nodes()) == [0, 1, 2, 3, 4]
+        assert a.num_nodes == 5 and a.num_edges == 0
+
+    def test_generator_input(self):
+        a = ArrayGraph(u for u in (0, 1, 2))
+        assert a.num_nodes == 3
+
+    def test_non_consecutive_labels(self):
+        a = ArrayGraph([4, 0, 2])
+        assert sorted(a.nodes()) == [0, 2, 4]
+        assert not a.has_node(1)
+        assert not a.has_node(3)
+
+    def test_duplicate_labels(self):
+        assert ArrayGraph([0, 0, 1]).num_nodes == 2
+
+    def test_rejects_non_int_labels(self):
+        for bad in ("a", 1.5, None, (0, 1)):
+            with pytest.raises(ConfigurationError):
+                ArrayGraph([bad])
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ConfigurationError):
+            ArrayGraph([-1])
+
+    def test_float_labels_rejected_even_when_integral(self):
+        # 0.0 == 0 must not smuggle a float through the bulk detector.
+        with pytest.raises(ConfigurationError):
+            ArrayGraph([0.0, 1.0])
+
+    def test_from_edges(self):
+        a = ArrayGraph.from_edges([(0, 1), (1, 2)], nodes=[5])
+        g = Graph.from_edges([(0, 1), (1, 2)], nodes=[5])
+        assert_same(g, a)
+
+    def test_copy_independent(self):
+        a = ArrayGraph.from_edges([(0, 1)])
+        b = a.copy()
+        b.add_edge(1, 2)
+        assert not a.has_node(2)
+        assert a.num_edges == 1 and b.num_edges == 2
+
+    def test_subgraph(self):
+        a = ArrayGraph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert_same(g.subgraph([0, 1, 3, 9]), a.subgraph([0, 1, 3, 9]))
+
+
+class TestNodes:
+    def test_slot_reuse_after_removal(self):
+        a = ArrayGraph(range(3))
+        a.remove_node(1)
+        assert not a.has_node(1)
+        a.add_node(1)
+        assert a.has_node(1)
+        assert a.degree(1) == 0
+        assert a.num_nodes == 3
+
+    def test_remove_returns_neighbor_set(self):
+        a = ArrayGraph.from_edges([(0, 1), (1, 2)])
+        assert a.remove_node(1) == {0, 2}
+        assert a.num_edges == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            ArrayGraph().remove_node(0)
+        with pytest.raises(NodeNotFoundError):
+            ArrayGraph(range(2)).remove_node("x")
+
+    def test_contains_iter_len(self):
+        a = ArrayGraph(range(3))
+        assert 2 in a and 3 not in a and "x" not in a
+        assert list(iter(a)) == [0, 1, 2]
+        assert len(a) == 3
+
+
+class TestEdges:
+    def test_add_edge_semantics(self):
+        g, a = both()
+        for t in (g, a):
+            assert t.add_edge(0, 1) is True
+            assert t.add_edge(1, 0) is False
+        assert_same(g, a)
+
+    def test_self_loop_raises(self):
+        with pytest.raises(SelfLoopError):
+            ArrayGraph().add_edge(1, 1)
+
+    def test_remove_edge_errors(self):
+        a = ArrayGraph.from_edges([(0, 1)])
+        a.add_node(2)
+        with pytest.raises(NodeNotFoundError):
+            a.remove_edge(9, 0)
+        with pytest.raises(NodeNotFoundError):
+            a.remove_edge(0, 9)
+        with pytest.raises(EdgeNotFoundError):
+            a.remove_edge(0, 2)
+
+    def test_neighbors_types(self):
+        a = ArrayGraph.from_edges([(0, 1), (0, 2)])
+        assert a.neighbors(0) == frozenset({1, 2})
+        assert isinstance(a.neighbors(0), frozenset)
+        view = a.neighbors_view(0)
+        assert isinstance(view, set)
+        a.add_edge(0, 3)
+        assert 3 in view  # live view, like the object backend
+        with pytest.raises(NodeNotFoundError):
+            a.neighbors(9)
+
+
+class TestDegreeMachinery:
+    def test_degree_queries_match(self):
+        edges = [(0, 1), (0, 2), (0, 3), (2, 3)]
+        g = Graph.from_edges(edges)
+        a = ArrayGraph.from_edges(edges)
+        assert a.degree(0) == g.degree(0) == 3
+        assert a.degree_of(9) is None is g.degree_of(9)
+        assert a.degrees_of([2, 3], offset=1) == g.degrees_of([2, 3], offset=1)
+        with pytest.raises(NodeNotFoundError):
+            a.degrees_of([2, 9])
+
+    def test_degree_index_parity(self):
+        edges = [(0, 1), (0, 2), (0, 3), (2, 3), (3, 4)]
+        g = Graph.from_edges(edges)
+        a = ArrayGraph.from_edges(edges)
+        for t in (g, a):
+            assert t.max_degree_node() == 0
+            t.remove_node(0)
+            assert t.max_degree_node() == 3
+            t.check_degree_index()
+        assert a.min_degree_node() == g.min_degree_node()
+
+    def test_degree_listener_stream_identical(self):
+        streams = {}
+        for name, t in zip(("object", "array"), both(range(4))):
+            calls = []
+            t.degree_listener = lambda *args, calls=calls: calls.append(args)
+            t.add_edge(0, 1)
+            t.add_edge(1, 2)
+            t.remove_edge(0, 1)
+            t.remove_node(2)
+            t.add_node(2)
+            streams[name] = calls
+        assert streams["object"] == streams["array"]
+
+    def test_degree_array(self):
+        a = ArrayGraph.from_edges([(0, 1), (0, 2)])
+        a.add_node(4)
+        a.remove_node(1)
+        assert a.degree_array().tolist() == [1, -1, 1, -1, 0]
+
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["add_node", "remove_node", "add_edge", "remove_edge"]
+        ),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=40,
+)
+
+
+class TestMirroredOps:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS)
+    def test_random_op_sequences_match(self, ops):
+        g, a = both(range(3))
+        for op, u, v in ops:
+            results = []
+            for t in (g, a):
+                try:
+                    if op == "add_node":
+                        results.append(("ok", t.add_node(u)))
+                    elif op == "remove_node":
+                        results.append(("ok", t.remove_node(u)))
+                    elif op == "add_edge":
+                        results.append(("ok", t.add_edge(u, v)))
+                    else:
+                        results.append(("ok", t.remove_edge(u, v)))
+                except Exception as exc:  # noqa: BLE001 - compared below
+                    results.append((type(exc).__name__, None))
+            assert results[0] == results[1]
+            assert_same(g, a)
+
+
+class TestFactory:
+    def test_new_graph_selects_backend(self):
+        assert type(new_graph(range(3))) is Graph
+        assert type(new_graph(range(3), backend="object")) is Graph
+        assert type(new_graph(range(3), backend="array")) is ArrayGraph
+
+    def test_new_graph_unknown_backend(self):
+        with pytest.raises(ConfigurationError) as exc:
+            new_graph(range(3), backend="numpy")
+        assert "array" in str(exc.value) and "object" in str(exc.value)
+
+    def test_backend_attributes(self):
+        assert Graph.backend == "object"
+        assert ArrayGraph.backend == "array"
+        assert set(BACKENDS) == {"object", "array"}

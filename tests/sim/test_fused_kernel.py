@@ -1,0 +1,189 @@
+"""Differential tests for the fused scalar-only campaign kernel.
+
+The kernel (``repro.sim.fastpath``) may only change *speed*: every
+result scalar, the adversary's RNG stream, and its survivor list must
+be exactly what the generic engine produces. The generic array path is
+obtained by forcing an observer (``keep_events=True``), which makes the
+kernel ineligible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import ADVERSARIES
+from repro.core.registry import HEALERS
+from repro.graph.generators import preferential_attachment, random_tree
+from repro.sim import fastpath
+from repro.sim.engine import run_campaign
+
+
+def make(backend, n=160, seed=1):
+    return preferential_attachment(n, 3, seed=seed, backend=backend)
+
+
+def scalars(result):
+    return (
+        result.initial_n,
+        result.deletions,
+        result.final_alive,
+        result.peak_delta,
+        result.values,
+        result.events,
+        result.network,
+    )
+
+
+def run(graph, adversary, **kw):
+    return run_campaign(
+        graph, HEALERS.make("dash"), adversary, id_seed=7, **kw
+    )
+
+
+CASES = [
+    {},
+    {"stop_alive": 40},
+    {"max_rounds": 23},
+    {"max_deletions": 57},
+    {"max_rounds": 0},
+]
+
+
+@pytest.mark.parametrize("kw", CASES, ids=[str(c) for c in CASES])
+def test_fused_matches_generic_and_object(kw):
+    before = fastpath._fused_campaigns
+    adv_fused = ADVERSARIES.make("random", seed=2)
+    fused = run(make("array"), adv_fused, **kw)
+    assert fastpath._fused_campaigns == before + 1
+
+    adv_gen = ADVERSARIES.make("random", seed=2)
+    generic = run(make("array"), adv_gen, keep_events=True, **kw)
+    obj = run(make("object"), ADVERSARIES.make("random", seed=2), **kw)
+
+    expect = scalars(generic)[:5] + (None, None)
+    assert scalars(fused) == expect
+    assert scalars(obj) == scalars(fused)
+
+    # The adversary must leave the kernel exactly where the generic
+    # engine would have left it: same survivor list semantics, same
+    # future RNG stream.
+    assert adv_fused._rng.getstate() == adv_gen._rng.getstate()
+    # The generic adversary pops its final (now dead) victim lazily on
+    # the next draw; the kernel pops eagerly. Normalize and compare.
+    expected_alive = [u for u in adv_gen._alive if u != adv_gen._last]
+    assert adv_fused._alive == expected_alive
+    assert adv_fused._last is None
+
+
+def test_fused_survivor_list_exact():
+    adv_fused = ADVERSARIES.make("random", seed=5)
+    fused = run(make("array", seed=3), adv_fused, stop_alive=50)
+    adv_gen = ADVERSARIES.make("random", seed=5)
+    generic = run(
+        make("array", seed=3), adv_gen, stop_alive=50, keep_events=True,
+        keep_network=True,
+    )
+    survivors = sorted(generic.network.graph.nodes())
+    assert adv_fused._alive == survivors
+    assert fused.final_alive == len(survivors) == 50
+
+
+@pytest.mark.parametrize(
+    "graph_seed,attack_seed,id_seed", [(1, 2, 3), (4, 5, 6), (7, 8, 9)]
+)
+def test_fused_seed_grid(graph_seed, attack_seed, id_seed):
+    results = []
+    for backend, extra in (("array", {}), ("object", {})):
+        r = run_campaign(
+            make(backend, n=220, seed=graph_seed),
+            HEALERS.make("dash"),
+            ADVERSARIES.make("random", seed=attack_seed),
+            id_seed=id_seed,
+            **extra,
+        )
+        results.append((r.deletions, r.final_alive, r.peak_delta))
+    assert results[0] == results[1]
+
+
+def test_fused_engages_only_when_unobserved():
+    before = fastpath._fused_campaigns
+    ineligible = [
+        dict(keep_events=True),
+        dict(keep_network=True),
+        dict(check_invariants=True),
+        dict(batch_fast_path=False),
+    ]
+    for kw in ineligible:
+        run(make("array", n=40), ADVERSARIES.make("random", seed=1), **kw)
+    # object backend, non-Dash healer, non-random adversary
+    run(make("object", n=40), ADVERSARIES.make("random", seed=1))
+    run_campaign(
+        make("array", n=40), HEALERS.make("sdash"),
+        ADVERSARIES.make("random", seed=1), id_seed=7,
+    )
+    run_campaign(
+        make("array", n=40), HEALERS.make("dash"),
+        ADVERSARIES.make("neighbor-of-max", seed=1), id_seed=7,
+    )
+    assert fastpath._fused_campaigns == before
+    run(make("array", n=40), ADVERSARIES.make("random", seed=1))
+    assert fastpath._fused_campaigns == before + 1
+
+
+def test_fused_on_tree_topology():
+    results = []
+    for backend in ("array", "object"):
+        r = run_campaign(
+            random_tree(150, seed=2, backend=backend),
+            HEALERS.make("dash"),
+            ADVERSARIES.make("random", seed=4),
+            id_seed=1,
+        )
+        results.append((r.deletions, r.final_alive, r.peak_delta))
+    assert results[0] == results[1]
+
+
+@pytest.mark.parametrize("kw", [{}, {"stop_alive": 33}])
+def test_fenwick_survivor_view_identical(monkeypatch, kw):
+    """Above the threshold, victim draws go through the Fenwick
+    rank-select view instead of the adversary's list. Forcing the tree
+    at small n must change nothing: same scalars, same RNG stream, same
+    rebuilt survivor list."""
+    adv_list = ADVERSARIES.make("random", seed=9)
+    with_list = run(make("array", n=180, seed=4), adv_list, **kw)
+
+    monkeypatch.setattr(fastpath, "_FENWICK_THRESHOLD", 1)
+    adv_tree = ADVERSARIES.make("random", seed=9)
+    with_tree = run(make("array", n=180, seed=4), adv_tree, **kw)
+
+    assert scalars(with_tree) == scalars(with_list)
+    assert adv_tree._rng.getstate() == adv_list._rng.getstate()
+    assert adv_tree._alive == adv_list._alive
+    assert adv_tree._last is None
+
+
+def test_fenwick_view_unit():
+    view = fastpath._FenwickAliveView(6)
+    assert len(view) == 6
+    assert [view[i] for i in range(6)] == [0, 1, 2, 3, 4, 5]
+    view.remove(0)
+    view.remove(3)
+    assert len(view) == 4
+    assert [view[i] for i in range(4)] == [1, 2, 4, 5]
+    view.remove(5)
+    assert [view[i] for i in range(3)] == [1, 2, 4]
+
+
+def test_fused_repairs_graph_counters():
+    """After a fused stop_alive campaign the graph's public counters and
+    degree machinery must be accurate (the kernel bypasses them live)."""
+    g = make("array", n=120, seed=6)
+    adv = ADVERSARIES.make("random", seed=8)
+    run(g, adv, stop_alive=30)
+    assert g.num_nodes == 30
+    assert sorted(g.nodes()) == adv._alive
+    assert g.num_edges == sum(g.degrees().values()) // 2
+    g.check_degree_index()
+    from repro.graph.validation import validate_graph
+
+    validate_graph(g)

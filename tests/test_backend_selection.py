@@ -1,0 +1,107 @@
+"""Backend-selection plumbing: spec strings, the registry, and the CLI.
+
+The array backend must be reachable through every configuration
+surface — ``generator="pa:n=...,backend=array"`` spec strings, the
+``pa`` registry alias, ``new_graph``, and ``repro simulate --backend``
+— and unknown backends must fail fast with the known set in the
+message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.graph.array_backend import ArrayGraph, new_graph
+from repro.graph.generators import GENERATORS
+from repro.graph.graph import Graph
+
+
+class TestSpecRoundTrip:
+    def test_spec_selects_array_backend(self):
+        g = GENERATORS.make(
+            "preferential_attachment:n=50,m=3,backend=array", seed=1
+        )
+        assert type(g) is ArrayGraph
+        assert g.num_nodes == 50
+
+    def test_spec_default_is_object(self):
+        g = GENERATORS.make("preferential_attachment:n=30,m=2", seed=1)
+        assert type(g) is Graph
+
+    def test_pa_alias(self):
+        a = GENERATORS.make("pa:n=40,m=3,backend=array", seed=2)
+        b = GENERATORS.make(
+            "preferential_attachment:n=40,m=3,backend=array", seed=2
+        )
+        assert type(a) is ArrayGraph
+        assert a == b
+
+    def test_alias_listed(self):
+        assert "pa" in GENERATORS.names()
+
+    def test_backends_build_equal_graphs(self):
+        for spec in (
+            "pa:n=60,m=3",
+            "erdos_renyi:n=50,p=0.1",
+            "random_tree:n=50",
+        ):
+            obj = GENERATORS.make(spec, seed=4)
+            arr = GENERATORS.make(spec + ",backend=array", seed=4)
+            assert arr == obj and obj == arr, spec
+
+    def test_unknown_backend_fails_fast(self):
+        with pytest.raises(ConfigurationError) as exc:
+            GENERATORS.make("pa:n=10,backend=columnar", seed=1)
+        msg = str(exc.value)
+        assert "columnar" in msg
+        assert "array" in msg and "object" in msg
+
+
+class TestNewGraphFactory:
+    def test_known_backends(self):
+        assert type(new_graph(backend="object")) is Graph
+        assert type(new_graph(backend="array")) is ArrayGraph
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            new_graph(backend="")
+
+
+class TestCli:
+    def _simulate(self, *extra):
+        return main(
+            ["simulate", "--n", "60", "--adversary", "random",
+             "--seed", "3", *extra]
+        )
+
+    def test_backend_flag_routes(self, capsys):
+        assert self._simulate("--backend", "array") == 0
+        out_array = capsys.readouterr().out
+        assert self._simulate("--backend", "object") == 0
+        out_object = capsys.readouterr().out
+        assert self._simulate() == 0
+        out_default = capsys.readouterr().out
+        # identical campaigns: the backend may not change any number
+        assert out_array == out_object == out_default
+
+    def test_backend_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            self._simulate("--backend", "columnar")
+        assert "array" in capsys.readouterr().err
+
+    def test_backend_flag_conflicts_with_spec_pin(self, capsys):
+        rc = main(
+            ["simulate", "--n", "20", "--generator", "pa:backend=array",
+             "--backend", "object"]
+        )
+        assert rc == 2
+        assert "backend" in capsys.readouterr().err
+
+    def test_spec_pin_without_flag_works(self, capsys):
+        rc = main(
+            ["simulate", "--n", "40", "--generator", "pa:backend=array",
+             "--adversary", "random", "--seed", "3"]
+        )
+        assert rc == 0

@@ -206,6 +206,7 @@ _REQUIRED = {
         "gnm_random": "gnm_random:n=10,m=12",
         "random_tree": "random_tree:10",
         "preferential_attachment": "preferential_attachment:10",
+        "pa": "pa:n=10,backend=array",
     },
     "metric": {"capacity": "capacity:headroom=2"},
 }
