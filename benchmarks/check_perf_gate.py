@@ -20,7 +20,10 @@ bench job and fails the build if any hard-won speedup has slid back:
   ≥ 5×;
 * crash safety (PR 6): recorder-hook share of a checkpointed √n-wave
   campaign at ``checkpoint_every=32`` — ≤ 5% overhead (a ceiling, not
-  a floor: this one guards the *cost* of running crash-safe).
+  a floor: this one guards the *cost* of running crash-safe);
+* campaign service (PR 8): submit→first-streamed-round latency through
+  the full service stack (validate, persist, dispatch, spawn a worker
+  subprocess, tail the ledger) — ≤ 2 s, another ceiling.
 
 A missing workload is a failure too: the gate must never pass because a
 benchmark silently stopped recording.
@@ -82,6 +85,13 @@ CEILINGS = [
         5.0,
         "%",
         "crash-safe campaign overhead at checkpoint_every=32 (PR 6)",
+    ),
+    (
+        "service_submit_first_round",
+        lambda e: e["seconds"],
+        2.0,
+        "s",
+        "campaign service submit→first-streamed-round latency (PR 8)",
     ),
 ]
 

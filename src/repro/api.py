@@ -1,0 +1,102 @@
+"""The frozen public API — the only stability-guaranteed import path.
+
+Everything in this module's ``__all__`` is covered by the project's
+stability promise: names, signatures, and semantics change only with a
+deprecation cycle. Import from here::
+
+    from repro.api import run_campaign, ExperimentSpec, HEALERS
+
+Every other module under :mod:`repro` — including the convenience
+re-exports on the top-level package — is internal: free to move or
+change between releases without notice. The README's stability table
+is the authoritative statement of this boundary.
+
+The surface, by area:
+
+* **Engine** — :func:`run_campaign` (the one simulation entry point,
+  single-victim and wave campaigns alike), :class:`SimulationResult`,
+  :func:`default_metrics`.
+* **Crash safety** — :func:`resume_campaign`,
+  :func:`resume_from_ledger`, :class:`CampaignLedger`,
+  :func:`read_ledger`.
+* **Experiments** — :class:`ExperimentSpec`, :func:`run_experiment`,
+  :class:`ResultSet`, :class:`RetryPolicy`.
+* **Registries** — the five component registries (``HEALERS``,
+  ``ADVERSARIES``, ``GENERATORS``, ``WAVE_SCHEDULES``, ``METRICS``),
+  :func:`component_registries`, and the spec-string helpers
+  :func:`make_healer` / :func:`make_adversary`. Spec strings
+  (``"random-wave:size=8,schedule=geometric"``) are themselves part of
+  the stable surface.
+* **Campaign service** — :class:`CampaignRequest`, :func:`run_request`,
+  :class:`ServiceClient`, :class:`CampaignService` (the client/server
+  pair behind ``repro serve``/``submit``/``watch``).
+* **Errors** — :class:`ReproError`, the one root to catch.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import ADVERSARIES, WAVE_SCHEDULES, make_adversary
+from repro.core import HEALERS, make_healer
+from repro.errors import ReproError
+from repro.graph.generators import GENERATORS
+from repro.recovery import (
+    CampaignLedger,
+    read_ledger,
+    resume_campaign,
+    resume_from_ledger,
+)
+from repro.registry import Registry, component_registries, parse_spec
+from repro.service import (
+    CampaignRequest,
+    CampaignService,
+    ServiceClient,
+    run_request,
+)
+from repro.sim import (
+    METRICS,
+    ExperimentSpec,
+    ResultSet,
+    SimulationResult,
+    default_metrics,
+    run_campaign,
+    run_experiment,
+)
+from repro.sim.parallel import RetryPolicy
+from repro.version import PAPER, __version__
+
+__all__ = [
+    # engine
+    "run_campaign",
+    "SimulationResult",
+    "default_metrics",
+    # crash safety
+    "resume_campaign",
+    "resume_from_ledger",
+    "CampaignLedger",
+    "read_ledger",
+    # experiments
+    "ExperimentSpec",
+    "run_experiment",
+    "ResultSet",
+    "RetryPolicy",
+    # registries
+    "HEALERS",
+    "ADVERSARIES",
+    "GENERATORS",
+    "WAVE_SCHEDULES",
+    "METRICS",
+    "Registry",
+    "component_registries",
+    "parse_spec",
+    "make_healer",
+    "make_adversary",
+    # campaign service
+    "CampaignRequest",
+    "run_request",
+    "ServiceClient",
+    "CampaignService",
+    # errors & identity
+    "ReproError",
+    "PAPER",
+    "__version__",
+]

@@ -55,6 +55,18 @@ from repro.version import PAPER, __version__
 
 __all__ = ["main", "build_parser"]
 
+#: where `repro serve` keeps job state unless --root says otherwise
+DEFAULT_SERVICE_ROOT = ".repro-service"
+DEFAULT_SERVICE_SOCKET = f"{DEFAULT_SERVICE_ROOT}/service.sock"
+
+
+def _add_socket_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket",
+        default=DEFAULT_SERVICE_SOCKET,
+        help="the service's Unix socket (default %(default)s)",
+    )
+
 
 def _backend_names() -> list[str]:
     """Known graph backend names, for ``--backend`` choices."""
@@ -130,6 +142,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="list figures, healers, adversaries, generators, "
              "wave schedules, metrics",
     )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the campaign service (job queue + worker supervision)",
+    )
+    srv.add_argument("--root", default=DEFAULT_SERVICE_ROOT,
+                     help="service state directory (jobs, ledgers, "
+                          "checkpoints; default %(default)s)")
+    srv.add_argument("--socket", default=None,
+                     help="Unix socket path (default <root>/service.sock)")
+    srv.add_argument("--stdio", action="store_true",
+                     help="serve the JSONL protocol on stdin/stdout "
+                          "instead of a socket")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="max concurrent worker processes "
+                          "(default %(default)s)")
+    srv.add_argument("--checkpoint-every", type=int, default=4,
+                     help="worker checkpoint cadence in rounds "
+                          "(default %(default)s)")
+    srv.add_argument("--heartbeat-ttl", type=float, default=10.0,
+                     help="seconds without a heartbeat before a worker "
+                          "is declared dead (default %(default)s)")
+    srv.add_argument("--queue-capacity", type=int, default=256,
+                     help="bounded queue size; submissions beyond it "
+                          "are refused (default %(default)s)")
+    srv.add_argument("--retries", type=int, default=2,
+                     help="retry budget per job for fault-type failures "
+                          "(default %(default)s)")
+    srv.add_argument("--backoff", type=float, default=0.5,
+                     help="retry backoff base in seconds "
+                          "(default %(default)s)")
+
+    sbm = sub.add_parser(
+        "submit", help="submit one campaign to a running service"
+    )
+    _add_socket_arg(sbm)
+    sbm.add_argument("--generator", default="preferential_attachment",
+                     help="generator name or spec string")
+    sbm.add_argument("--n", type=int, default=100)
+    sbm.add_argument("--m", type=int, default=None)
+    sbm.add_argument("--healer", default="dash")
+    sbm.add_argument("--adversary", default="neighbor-of-max",
+                     help="adversary name or spec string, e.g. "
+                          "'random-wave:size=8,schedule=geometric'")
+    sbm.add_argument("--seed", type=int, default=0)
+    sbm.add_argument("--stop-alive", type=int, default=0)
+    sbm.add_argument("--max-rounds", type=int, default=None)
+    sbm.add_argument("--max-deletions", type=int, default=None)
+    sbm.add_argument("--metric", action="append", default=None,
+                     help="extra metric spec (repeatable)")
+    sbm.add_argument("--priority", type=int, default=0,
+                     help="higher runs first (default %(default)s)")
+    sbm.add_argument("--watch", action="store_true",
+                     help="stream the job's rounds after submitting")
+
+    sta = sub.add_parser(
+        "status",
+        help="show one job's status, all jobs, or service metrics",
+    )
+    _add_socket_arg(sta)
+    sta.add_argument("job", nargs="?", default=None,
+                     help="job id (omit to list all jobs)")
+    sta.add_argument("--metrics", action="store_true",
+                     help="print the service's observability counters")
+
+    wat = sub.add_parser(
+        "watch", help="stream a job's per-round records live"
+    )
+    _add_socket_arg(wat)
+    wat.add_argument("job", help="job id")
+    wat.add_argument("--timeout", type=float, default=None,
+                     help="give up after this many idle seconds")
+
+    can = sub.add_parser("cancel", help="cancel a queued or running job")
+    _add_socket_arg(can)
+    can.add_argument("job", help="job id")
     return parser
 
 
@@ -286,6 +374,144 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.manager import CampaignService
+    from repro.service.protocol import serve_socket, serve_stdio
+    from repro.sim.parallel import RetryPolicy
+
+    service = CampaignService(
+        args.root,
+        max_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        checkpoint_every=args.checkpoint_every,
+        heartbeat_ttl=args.heartbeat_ttl,
+        retry_policy=RetryPolicy(
+            retries=args.retries, backoff=args.backoff
+        ),
+    )
+    if args.stdio:
+        serve_stdio(service)
+        return 0
+    socket_path = args.socket or str(Path(args.root) / "service.sock")
+    print(f"serving on {socket_path} (root: {args.root})", file=sys.stderr)
+    try:
+        serve_socket(service, socket_path)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        service.shutdown()
+    return 0
+
+
+def _client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.socket)
+
+
+def _print_stream(client, job_id, timeout=None) -> int:
+    for record in client.watch(job_id, timeout=timeout):
+        kind = record.get("type")
+        if kind == "round":
+            print(
+                f"[round {record['round']}] "
+                f"alive={record.get('alive')} "
+                f"deletions={record.get('deletions')}"
+            )
+        elif kind == "checkpoint":
+            print(f"[checkpoint @ round {record['round']}]")
+        elif kind == "resumed":
+            print(f"[resumed @ round {record['round']}]")
+        elif kind == "end":
+            print("campaign complete:")
+            for key in sorted(record.get("values", {})):
+                print(f"  {key:<24s}: {record['values'][key]:.3f}")
+        elif record.get("done"):
+            print(f"[{record['job']}] final state: {record['state']}")
+            return 0 if record["state"] == "done" else 1
+    return 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.request import CampaignRequest
+
+    generator_params: dict = {"n": args.n}
+    if args.m is not None:
+        generator_params["m"] = args.m
+    try:
+        request = CampaignRequest(
+            generator=args.generator,
+            healer=args.healer,
+            adversary=args.adversary,
+            generator_params=generator_params,
+            extra_metrics=tuple(args.metric or ()),
+            seed=args.seed,
+            stop_alive=args.stop_alive,
+            max_rounds=args.max_rounds,
+            max_deletions=args.max_deletions,
+            priority=args.priority,
+        )
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    client = _client(args)
+    job_id, created = client.submit(request)
+    note = "" if created else " (deduped onto existing job)"
+    print(f"submitted: {job_id}{note}")
+    if args.watch:
+        return _print_stream(client, job_id)
+    return 0
+
+
+def _print_job(view: dict) -> None:
+    line = (
+        f"{view['job']}  {view['state']:<12s} "
+        f"{view['healer']} vs {view['adversary']}  "
+        f"rounds={view['rounds']} resumes={view['resumes']} "
+        f"retries={view['attempts']}"
+    )
+    print(line)
+    if view.get("error"):
+        print(f"  error: {view['error']}")
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _client(args)
+    if args.metrics:
+        snapshot = client.metrics()
+        jobs = snapshot.pop("jobs", {})
+        for key in sorted(snapshot):
+            value = snapshot[key]
+            shown = f"{value:.3f}" if isinstance(value, float) else value
+            print(f"{key:<16s}: {shown}")
+        for job_id in sorted(jobs):
+            j = jobs[job_id]
+            print(
+                f"  {job_id}: {j['state']} rounds={j['rounds']} "
+                f"resumes={j['resumes']} retries={j['retries']}"
+            )
+        return 0
+    if args.job is None:
+        views = client.list_jobs()
+        if not views:
+            print("no jobs")
+        for view in views:
+            _print_job(view)
+        return 0
+    _print_job(client.status(args.job))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    return _print_stream(_client(args), args.job, timeout=args.timeout)
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    view = _client(args).cancel(args.job)
+    _print_job(view)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figure":
@@ -296,6 +522,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_resume(args)
     if args.command == "list":
         return _cmd_list(args)
+    service_commands = {
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "watch": _cmd_watch,
+        "cancel": _cmd_cancel,
+    }
+    if args.command in service_commands:
+        from repro.errors import ServiceError
+
+        try:
+            return service_commands[args.command](args)
+        except ServiceError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        except BrokenPipeError:
+            # stdout was closed mid-stream (`repro watch ... | head`);
+            # not an error worth a traceback.
+            return 0
     raise AssertionError("unreachable")  # pragma: no cover
 
 

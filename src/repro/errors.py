@@ -82,6 +82,38 @@ class CheckpointError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The campaign service refused or failed an operation.
+
+    Raised for protocol violations (malformed requests, unknown jobs),
+    illegal job state transitions, and service-side wiring failures.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The job queue is at capacity (bounded backpressure).
+
+    Submitters should back off and retry; the bound exists so a burst of
+    campaign requests degrades into explicit push-back instead of
+    unbounded memory growth.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(
+            f"job queue is full ({limit} queued jobs); retry later"
+        )
+        self.limit = limit
+
+
+class JobStateError(ServiceError):
+    """An illegal job state transition was attempted.
+
+    The job state machine (queued → running → checkpointed →
+    done/failed/cancelled) only moves along declared edges; anything
+    else is a service bug and fails loudly.
+    """
+
+
 class SimulatedCrash(ReproError):
     """A fault injected by :mod:`repro.recovery.faults` fired.
 

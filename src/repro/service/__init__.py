@@ -1,0 +1,43 @@
+"""The campaign service: an async job queue over the crash-safe engine.
+
+``repro serve`` turns the one-shot simulator into a long-running
+service: clients submit validated campaign requests, a supervised pool
+of worker subprocesses runs them with checkpointing and the append-only
+ledger wired in, and results stream back per-round as they are written.
+Worker death — SIGKILL included — is survivable by construction (the
+job resumes byte-identically from its ledger on another worker), and so
+is death of the whole service (every job transition is persisted before
+it takes effect).
+
+Modules: :mod:`~repro.service.request` (the validated unit of work),
+:mod:`~repro.service.jobs` (state machine + persistence),
+:mod:`~repro.service.queue` (bounded priority queue),
+:mod:`~repro.service.worker` (the subprocess + heartbeats),
+:mod:`~repro.service.stream` (ledger tailing with resume dedupe),
+:mod:`~repro.service.manager` (supervision), and
+:mod:`~repro.service.protocol` / :mod:`~repro.service.client` (the
+JSONL wire protocol and its client).
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobState, JobStore
+from repro.service.manager import CampaignService
+from repro.service.queue import JobQueue
+from repro.service.request import CampaignRequest, run_request
+from repro.service.stream import ResultStream, ledger_progress
+from repro.service.worker import WorkerHandle, worker_main
+
+__all__ = [
+    "CampaignRequest",
+    "CampaignService",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "JobStore",
+    "ResultStream",
+    "ServiceClient",
+    "WorkerHandle",
+    "ledger_progress",
+    "run_request",
+    "worker_main",
+]

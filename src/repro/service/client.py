@@ -1,0 +1,127 @@
+"""A small synchronous client for the campaign service socket.
+
+Each call opens a fresh connection, sends one JSONL request, and reads
+the response line(s) — no connection pooling, no state, nothing to
+reconnect after a service restart. :meth:`ServiceClient.watch` is the
+streaming call: it yields deduped ledger records as the service tails
+the job's ledger, ending with (and returning) the final status object.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ServiceError
+from repro.service.request import CampaignRequest
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    def __init__(
+        self, socket_path: str | Path, *, timeout: float | None = 60.0
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover
+            raise ServiceError(
+                "this platform has no Unix domain sockets"
+            )
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(str(self.socket_path))
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot reach campaign service at {self.socket_path} "
+                f"({exc}) — is `repro serve` running?"
+            ) from None
+        return sock
+
+    def _request(self, message: dict) -> Iterator[dict]:
+        sock = self._connect()
+        try:
+            payload = json.dumps(
+                message, sort_keys=True, separators=(",", ":")
+            )
+            sock.sendall(payload.encode("utf-8") + b"\n")
+            with sock.makefile("r", encoding="utf-8") as lines:
+                for line in lines:
+                    if not line.strip():
+                        continue
+                    response = json.loads(line)
+                    if not response.get("ok"):
+                        raise ServiceError(
+                            response.get("error", "service error")
+                        )
+                    yield response
+        finally:
+            sock.close()
+
+    def _one(self, message: dict) -> dict:
+        for response in self._request(message):
+            return response
+        raise ServiceError(
+            "service closed the connection without responding"
+        )
+
+    # -- operations ------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._one({"op": "ping"}).get("pong"))
+
+    def submit(self, request: CampaignRequest) -> tuple[str, bool]:
+        """Returns ``(job_id, created)`` — ``created=False`` means the
+        service deduped onto an existing active job."""
+        response = self._one(
+            {"op": "submit", "request": request.to_json()}
+        )
+        return response["job"], response["created"]
+
+    def status(self, job_id: str) -> dict:
+        return self._one({"op": "status", "job": job_id})
+
+    def list_jobs(self) -> list[dict]:
+        return self._one({"op": "list"})["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._one({"op": "cancel", "job": job_id})
+
+    def metrics(self) -> dict:
+        return self._one({"op": "metrics"})["metrics"]
+
+    def shutdown(self) -> None:
+        self._one({"op": "shutdown"})
+
+    def watch(
+        self, job_id: str, *, timeout: float | None = None
+    ) -> Iterator[dict]:
+        """Yield the job's ledger records live; the last item yielded is
+        the ``{"done": true, ...}`` final status."""
+        message: dict = {"op": "watch", "job": job_id}
+        if timeout is not None:
+            message["timeout"] = timeout
+        for response in self._request(message):
+            if response.get("done"):
+                yield response
+                return
+            yield response["record"]
+
+    def wait(
+        self, job_id: str, *, timeout: float | None = None
+    ) -> dict:
+        """Block until the job is terminal; returns the final status."""
+        last: dict | None = None
+        for item in self.watch(job_id, timeout=timeout):
+            last = item
+        if last is None or not last.get("done"):
+            raise ServiceError(
+                f"watch of {job_id} ended without a final status"
+            )
+        return last

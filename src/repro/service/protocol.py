@@ -1,0 +1,226 @@
+"""The service's wire protocol: JSON Lines, no web framework.
+
+One request object per line in, one or more response objects per line
+out. Every response carries ``"ok"``; failures carry ``"error"`` with
+the exception type and message. Operations:
+
+=============  =====================================  =================
+op             request fields                         response
+=============  =====================================  =================
+``ping``       —                                      ``{"pong": true}``
+``submit``     ``request`` (a CampaignRequest JSON)   ``job``, ``created``
+``status``     ``job``                                the job view
+``list``       —                                      ``jobs`` (views)
+``cancel``     ``job``                                the job view
+``metrics``    —                                      ``metrics`` snapshot
+``watch``      ``job``, optional ``timeout``          a *stream*: one
+                                                      ``{"record": ...}``
+                                                      line per deduped
+                                                      ledger record, then
+                                                      ``{"done": true,
+                                                      "state": ...}``
+``shutdown``   —                                      ``{"stopping": true}``
+=============  =====================================  =================
+
+The same dispatcher serves two transports: a Unix domain socket
+(:func:`serve_socket`, threaded — a slow ``watch`` does not block
+``submit``) and stdin/stdout (:func:`serve_stdio`, for piping and for
+environments without socket access). ``watch`` streams round records
+exactly as :class:`~repro.service.stream.ResultStream` yields them —
+deduped across resumes, so a watcher of a crash-resumed job sees the
+same sequence as a watcher of an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.errors import ReproError, ServiceError
+from repro.service.manager import CampaignService
+from repro.service.request import CampaignRequest
+from repro.service.stream import ResultStream
+
+__all__ = ["ServiceProtocol", "serve_socket", "serve_stdio"]
+
+PROTOCOL_VERSION = 1
+
+
+class ServiceProtocol:
+    """Transport-independent dispatcher: request line in, response
+    objects out (a generator, because ``watch`` streams)."""
+
+    def __init__(self, service: CampaignService) -> None:
+        self.service = service
+        self.shutdown_requested = threading.Event()
+
+    def handle_line(self, line: str) -> Iterator[dict]:
+        try:
+            yield from self._dispatch(line)
+        except ReproError as exc:
+            yield {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            yield {
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
+
+    def _dispatch(self, line: str) -> Iterator[dict]:
+        try:
+            message = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(f"request is not valid JSON: {exc}") from None
+        if not isinstance(message, dict):
+            raise ServiceError(
+                f"request must be an object, got "
+                f"{type(message).__name__}"
+            )
+        op = message.get("op")
+        if op == "ping":
+            yield {"ok": True, "pong": True, "version": PROTOCOL_VERSION}
+        elif op == "submit":
+            request = CampaignRequest.from_json(
+                message.get("request") or {}
+            )
+            job_id, created = self.service.submit(request)
+            yield {"ok": True, "job": job_id, "created": created}
+        elif op == "status":
+            yield {"ok": True, **self.service.status(self._job(message))}
+        elif op == "list":
+            yield {"ok": True, "jobs": self.service.list_jobs()}
+        elif op == "cancel":
+            yield {"ok": True, **self.service.cancel(self._job(message))}
+        elif op == "metrics":
+            yield {"ok": True, "metrics": self.service.metrics_snapshot()}
+        elif op == "watch":
+            yield from self._watch(message)
+        elif op == "shutdown":
+            self.shutdown_requested.set()
+            yield {"ok": True, "stopping": True}
+        else:
+            raise ServiceError(f"unknown op {op!r}")
+
+    @staticmethod
+    def _job(message: dict) -> str:
+        job_id = message.get("job")
+        if not isinstance(job_id, str) or not job_id:
+            raise ServiceError("request needs a 'job' field")
+        return job_id
+
+    def _watch(self, message: dict) -> Iterator[dict]:
+        job_id = self._job(message)
+        timeout = message.get("timeout")
+        ledger = self.service.ledger_path(job_id)  # validates the id
+        stream = ResultStream(
+            ledger,
+            timeout=timeout,
+            # No end record will ever come for failed/cancelled jobs;
+            # stop when the job goes terminal without one.
+            stop=lambda: self.service.is_terminal(job_id),
+        )
+        ended = False
+        for record in stream:
+            yield {"ok": True, "record": record}
+            ended = record.get("type") == "end"
+        if ended:
+            # The ledger's end record can land before the supervisor
+            # reaps the worker; give the state machine a moment to
+            # catch up so the final status reads "done", not "running".
+            deadline = time.monotonic() + 30.0
+            while (
+                not self.service.is_terminal(job_id)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+        status = self.service.status(job_id)
+        yield {"ok": True, "done": True, **status}
+
+
+def _serve_stream(
+    protocol: ServiceProtocol, rfile: IO, wfile: IO
+) -> None:
+    """Pump one connection: line in, response lines out."""
+    for raw in rfile:
+        line = raw.decode("utf-8") if isinstance(raw, bytes) else raw
+        if not line.strip():
+            continue
+        for response in protocol.handle_line(line):
+            out = json.dumps(
+                response, sort_keys=True, separators=(",", ":")
+            )
+            data = out + "\n"
+            wfile.write(
+                data.encode("utf-8")
+                if isinstance(raw, bytes)
+                else data
+            )
+            wfile.flush()
+        if protocol.shutdown_requested.is_set():
+            return
+
+
+def serve_socket(
+    service: CampaignService, socket_path: str | Path
+) -> None:
+    """Serve the protocol on a Unix domain socket until ``shutdown``.
+
+    Threaded: each connection gets its own handler thread, so a client
+    blocked in ``watch`` never delays another client's ``submit``.
+    """
+    if not hasattr(socketserver, "UnixStreamServer"):  # pragma: no cover
+        raise ServiceError(
+            "this platform has no Unix domain sockets; use --stdio"
+        )
+    path = Path(socket_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.exists():
+        path.unlink()
+    protocol = ServiceProtocol(service)
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:
+            _serve_stream(protocol, self.rfile, self.wfile)
+            if protocol.shutdown_requested.is_set():
+                # shutdown() must come from outside the handler thread
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+
+    class Server(
+        socketserver.ThreadingMixIn, socketserver.UnixStreamServer
+    ):
+        daemon_threads = True
+        allow_reuse_address = True
+
+    service.start()
+    try:
+        with Server(str(path), Handler) as server:
+            server.serve_forever(poll_interval=0.05)
+    finally:
+        service.shutdown()
+        if path.exists():
+            path.unlink()
+
+
+def serve_stdio(
+    service: CampaignService,
+    rfile: IO | None = None,
+    wfile: IO | None = None,
+) -> None:
+    """Serve the protocol over stdin/stdout (one client, e.g. a pipe)."""
+    protocol = ServiceProtocol(service)
+    service.start()
+    try:
+        _serve_stream(
+            protocol, rfile or sys.stdin, wfile or sys.stdout
+        )
+    finally:
+        service.shutdown()

@@ -1,0 +1,70 @@
+"""A small, thread-safe priority queue of job ids.
+
+Ordering is ``(-priority, seq)``: higher priority first, submission
+order within a priority. The queue is bounded — pushing past
+``capacity`` raises :class:`~repro.errors.QueueFullError` so a burst of
+submissions turns into explicit backpressure at the protocol layer
+instead of unbounded memory growth.
+
+Entries support lazy removal (cancel marks the entry dead; ``pop``
+skips corpses), the standard heapq idiom for mutable priority queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+from repro.errors import QueueFullError
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._heap: list[tuple[int, int, str]] = []
+        self._live: set[str] = set()
+        self._lock = threading.Lock()
+
+    def push(
+        self, job_id: str, *, priority: int, seq: int, force: bool = False
+    ) -> None:
+        """Enqueue; ``force=True`` bypasses the capacity check (the
+        manager requeueing an interrupted job must never be refused —
+        backpressure applies to *new* submissions only)."""
+        with self._lock:
+            if job_id in self._live:
+                return  # already queued; dedupe happens upstream
+            if not force and len(self._live) >= self.capacity:
+                raise QueueFullError(self.capacity)
+            heapq.heappush(self._heap, (-priority, seq, job_id))
+            self._live.add(job_id)
+
+    def pop(self) -> str | None:
+        """Highest-priority live entry, or ``None`` when empty."""
+        with self._lock:
+            while self._heap:
+                _, _, job_id = heapq.heappop(self._heap)
+                if job_id in self._live:
+                    self._live.discard(job_id)
+                    return job_id
+            return None
+
+    def remove(self, job_id: str) -> bool:
+        """Lazily drop a queued entry (cancel); True if it was queued."""
+        with self._lock:
+            if job_id in self._live:
+                self._live.discard(job_id)
+                return True
+            return False
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._live
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._live)

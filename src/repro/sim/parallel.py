@@ -48,11 +48,51 @@ from typing import Callable, Sequence
 from repro.errors import SweepExecutionError
 from repro.sim.experiment import run_task
 
-__all__ = ["run_tasks", "default_jobs", "CellFailure"]
+__all__ = ["run_tasks", "default_jobs", "CellFailure", "RetryPolicy"]
 
 #: how many times a freshly built pool may break before the supervisor
 #: gives up on process parallelism for the surviving cells
 _MAX_POOL_REBUILDS = 3
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed unit of work, and how fast.
+
+    Shared by the sweep supervisor here and the campaign service's job
+    manager (:mod:`repro.service.manager`) — one definition of "retry"
+    across both. Attempt *k* (1-based) retries after
+    ``backoff * 2**(k-1)`` seconds; ``retries`` is the number of *extra*
+    attempts after the first failure, so ``retries=2`` allows at most 3
+    attempts total.
+    """
+
+    retries: int = 2
+    backoff: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before re-running after failure ``attempt``."""
+        return self.backoff * (2 ** (attempt - 1))
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once ``attempts`` failures have used up the budget."""
+        return attempts > self.retries
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Fail on the first error (and never sleep)."""
+        return cls(retries=0, backoff=0.0)
+
+    @classmethod
+    def immediate(cls, retries: int = 2) -> "RetryPolicy":
+        """Retry without any backoff — the policy tests want."""
+        return cls(retries=retries, backoff=0.0)
 
 
 def default_jobs() -> int:
@@ -106,8 +146,9 @@ def run_tasks(
     progress: bool = False,
     worker: Callable[[tuple], tuple[dict, dict]] | None = None,
     timeout: float | None = None,
-    retries: int = 2,
-    backoff: float = 0.5,
+    retries: int | None = None,
+    backoff: float | None = None,
+    retry_policy: RetryPolicy | None = None,
     serial_fallback: bool = True,
 ) -> list[tuple[dict, dict]]:
     """Execute sweep cells, serially or across supervised processes.
@@ -130,10 +171,18 @@ def run_tasks(
         POSIX; a timed-out attempt counts as a failure and is retried).
     retries:
         Extra attempts after a cell's first failure (so ``retries=2``
-        means at most 3 attempts).
+        means at most 3 attempts). Legacy spelling of
+        ``retry_policy.retries``; mutually exclusive with
+        ``retry_policy``.
     backoff:
         Base of the exponential backoff between a cell's attempts:
         attempt *k* retries after ``backoff * 2**(k-1)`` seconds.
+        Legacy spelling of ``retry_policy.backoff``.
+    retry_policy:
+        A :class:`RetryPolicy` bundling retries and backoff — the
+        preferred spelling (``RetryPolicy.none()`` for fail-fast,
+        ``RetryPolicy.immediate()`` for sleep-free tests). Default:
+        ``RetryPolicy()`` (2 retries, 0.5 s exponential backoff).
     serial_fallback:
         After :data:`_MAX_POOL_REBUILDS` broken pools, finish the
         remaining cells serially in-process instead of failing them.
@@ -145,8 +194,19 @@ def run_tasks(
         per-cell :class:`CellFailure` reports *and* the results of every
         completed cell (``completed``, indexed by task position).
     """
-    if retries < 0:
-        raise ValueError(f"retries must be >= 0, got {retries}")
+    if retry_policy is not None and (
+        retries is not None or backoff is not None
+    ):
+        raise ValueError(
+            "pass either retry_policy or the legacy retries/backoff "
+            "arguments, not both"
+        )
+    if retry_policy is None:
+        retry_policy = RetryPolicy(
+            retries=2 if retries is None else retries,
+            backoff=0.5 if backoff is None else backoff,
+        )
+    policy = retry_policy
     worker = worker or _run_cell
     total = len(tasks)
     completed: dict[int, tuple[dict, dict]] = {}
@@ -174,7 +234,7 @@ def run_tasks(
             except BaseException as exc:  # noqa: BLE001 - reported per-cell
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
-                if attempts > retries:
+                if policy.exhausted(attempts):
                     failures.append(
                         CellFailure(
                             cell=_cell_id(tasks[index]),
@@ -183,7 +243,7 @@ def run_tasks(
                         )
                     )
                     return
-                time.sleep(backoff * (2 ** (attempts - 1)))
+                time.sleep(policy.delay(attempts))
 
     if not jobs or jobs <= 1:
         for index in range(total):
@@ -195,8 +255,7 @@ def run_tasks(
             worker=worker,
             jobs=jobs,
             timeout=timeout,
-            retries=retries,
-            backoff=backoff,
+            policy=policy,
             serial_fallback=serial_fallback,
             completed=completed,
             failures=failures,
@@ -215,8 +274,7 @@ def _run_supervised_pool(
     worker,
     jobs: int,
     timeout: float | None,
-    retries: int,
-    backoff: float,
+    policy: RetryPolicy,
     serial_fallback: bool,
     completed: dict,
     failures: list,
@@ -256,7 +314,7 @@ def _run_supervised_pool(
                         raise
                     except BaseException as exc:  # noqa: BLE001
                         attempts[index] += 1
-                        if attempts[index] > retries:
+                        if policy.exhausted(attempts[index]):
                             failures.append(
                                 CellFailure(
                                     cell=_cell_id(tasks[index]),
@@ -267,9 +325,7 @@ def _run_supervised_pool(
                             pending.discard(index)
                             tick()
                         else:
-                            time.sleep(
-                                backoff * (2 ** (attempts[index] - 1))
-                            )
+                            time.sleep(policy.delay(attempts[index]))
                             if not broken:
                                 try:
                                     retry = pool.submit(

@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from repro.adversary.base import Adversary
@@ -23,6 +24,16 @@ from repro.sim.engine import SimulationResult, run_campaign
 from repro.sim.metrics import Metric
 
 __all__ = ["SimulationResult", "run_simulation", "run_wave_simulation"]
+
+
+def _warn_deprecated(shim: str, extra: str) -> None:
+    warnings.warn(
+        f"{shim} is deprecated; call repro.api.run_campaign"
+        f"({extra}) instead — it drives single-victim and wave "
+        f"adversaries through one round protocol",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_simulation(
@@ -45,6 +56,7 @@ def run_simulation(
     and ``max_deletions`` caps the number of rounds. Prefer
     ``run_campaign``, which accepts any adversary.
     """
+    _warn_deprecated("run_simulation", "..., batch_rounds=False")
     return run_campaign(
         graph,
         healer,
@@ -83,6 +95,9 @@ def run_wave_simulation(
     ``max_waves`` caps rounds, ``result.deletions`` counts deleted nodes,
     and ``result.values["waves"]`` counts waves. Prefer ``run_campaign``.
     """
+    _warn_deprecated(
+        "run_wave_simulation", "..., max_rounds=..., batch_rounds=True"
+    )
     return run_campaign(
         graph,
         healer,

@@ -41,7 +41,7 @@ from repro.graph.generators import (
     watts_strogatz,
 )
 from repro.sim.metrics import Metric
-from repro.sim.simulator import run_simulation
+from repro.api import run_campaign
 
 from tests.adversary._scan_adversaries import (
     ScanMaxDeltaNeighborAttack,
@@ -143,7 +143,7 @@ def test_full_kill_campaign_matches_scan(
 ):
     """Full-kill campaigns under DASH: every victim identical, with the
     degree/δ indexes scan-verified after every round."""
-    indexed_run = run_simulation(
+    indexed_run = run_campaign(
         make_graph(),
         HEALERS["dash"](),
         make_indexed(),
@@ -152,7 +152,7 @@ def test_full_kill_campaign_matches_scan(
         keep_events=True,
         keep_network=True,
     )
-    scan_run = run_simulation(
+    scan_run = run_campaign(
         make_graph(),
         HEALERS["dash"](),
         make_scan(),
@@ -175,7 +175,7 @@ def test_other_healers_match_scan(
 ):
     """The equivalence is healer-independent (including the
     non-component-safe GraphHeal, whose heals reshape degrees freely)."""
-    indexed_run = run_simulation(
+    indexed_run = run_campaign(
         preferential_attachment(60, 2, seed=9),
         HEALERS[healer_name](),
         make_indexed(),
@@ -184,7 +184,7 @@ def test_other_healers_match_scan(
         keep_events=True,
         keep_network=True,
     )
-    scan_run = run_simulation(
+    scan_run = run_campaign(
         preferential_attachment(60, 2, seed=9),
         HEALERS[healer_name](),
         make_scan(),

@@ -18,7 +18,7 @@ from repro.graph.generators import (
     path_graph,
 )
 from repro.graph.traversal import is_connected
-from repro.sim.simulator import run_simulation
+from repro.api import run_campaign
 
 
 class TestPruneOrder:
@@ -56,7 +56,7 @@ class TestLevelAttack:
         """Theorem 2: forced degree increase ≥ D on the (M+2)-ary tree."""
         branching = m + 2
         g = complete_kary_tree(branching, depth)
-        res = run_simulation(
+        res = run_campaign(
             g,
             DegreeBoundedHealer(max_increase=m),
             LevelAttack(branching),
@@ -70,7 +70,7 @@ class TestLevelAttack:
         remains after the root's deletion."""
         g = complete_kary_tree(3, 3)
         n = g.num_nodes
-        res = run_simulation(
+        res = run_campaign(
             g, DegreeBoundedHealer(max_increase=1), LevelAttack(3), id_seed=0
         )
         assert res.final_alive > 0
@@ -96,7 +96,7 @@ class TestLevelAttack:
     def test_dash_respects_its_bound_under_levelattack(self):
         g = complete_kary_tree(3, 4)
         n = g.num_nodes
-        res = run_simulation(g, Dash(), LevelAttack(3), id_seed=0)
+        res = run_campaign(g, Dash(), LevelAttack(3), id_seed=0)
         assert res.peak_delta <= 2 * math.log2(n)
 
     def test_requires_heap_labels(self):

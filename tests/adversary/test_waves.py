@@ -17,7 +17,7 @@ from repro.core.network import SelfHealingNetwork
 from repro.core.registry import make_healer
 from repro.errors import ConfigurationError
 from repro.graph.generators import cycle_graph, preferential_attachment
-from repro.sim.simulator import run_wave_simulation
+from repro.api import run_campaign
 
 
 class TestSchedules:
@@ -129,7 +129,7 @@ class TestTargetedWaveAttack:
         assert adv.choose_wave(net) == [0, 1, 2, 3]
 
     def test_full_kill(self):
-        res = run_wave_simulation(
+        res = run_campaign(
             preferential_attachment(80, 2, seed=6),
             make_healer("dash"),
             TargetedWaveAttack(("fraction", 0.2)),
@@ -147,8 +147,8 @@ class TestRegistryAndSimulator:
         )
         assert isinstance(make_adversary("targeted-wave"), TargetedWaveAttack)
 
-    def test_run_wave_simulation_stop_alive_and_max_waves(self):
-        res = run_wave_simulation(
+    def test_wave_campaign_stop_alive_and_max_rounds(self):
+        res = run_campaign(
             preferential_attachment(50, 2, seed=7),
             make_healer("dash"),
             RandomWaveAttack(("constant", 5), seed=7),
@@ -156,23 +156,23 @@ class TestRegistryAndSimulator:
             stop_alive=20,
         )
         assert res.final_alive == 20
-        res = run_wave_simulation(
+        res = run_campaign(
             preferential_attachment(50, 2, seed=7),
             make_healer("dash"),
             RandomWaveAttack(("constant", 5), seed=7),
             id_seed=7,
-            max_waves=3,
+            max_rounds=3,
         )
         assert res.values["waves"] == 3
         assert res.deletions == 15
 
-    def test_run_wave_simulation_rejects_bad_config(self):
+    def test_wave_campaign_rejects_bad_config(self):
         g = preferential_attachment(20, 2, seed=8)
         with pytest.raises(ConfigurationError):
-            run_wave_simulation(
+            run_campaign(
                 g, make_healer("dash"), RandomWaveAttack(2), stop_alive=-1
             )
         with pytest.raises(ConfigurationError):
-            run_wave_simulation(
-                g, make_healer("dash"), RandomWaveAttack(2), max_waves=-1
+            run_campaign(
+                g, make_healer("dash"), RandomWaveAttack(2), max_rounds=-1
             )

@@ -27,7 +27,7 @@ from repro.adversary.classic import NeighborOfMaxAttack, RandomAttack
 from repro.core.network import SelfHealingNetwork
 from repro.core.registry import HEALERS, healer_names
 from repro.graph.generators import erdos_renyi, preferential_attachment
-from repro.sim.simulator import run_simulation
+from repro.api import run_campaign
 
 from tests.core._seed_tracker import ComponentTracker as SeedTracker
 
@@ -92,7 +92,7 @@ def test_full_campaign_matches_seed_accounting(healer_name, seed):
     def campaign(tracker_cls, check):
         g = preferential_attachment(60, 2, seed=seed)
         with _swapped_tracker(tracker_cls):
-            return run_simulation(
+            return run_campaign(
                 g,
                 HEALERS[healer_name](),
                 RandomAttack(seed=seed),
@@ -115,7 +115,7 @@ def test_targeted_attack_matches_seed_accounting(healer_name):
     def campaign(tracker_cls, check):
         g = erdos_renyi(50, 0.12, seed=5)
         with _swapped_tracker(tracker_cls):
-            return run_simulation(
+            return run_campaign(
                 g,
                 HEALERS[healer_name](),
                 NeighborOfMaxAttack(seed=5),

@@ -38,7 +38,7 @@ from repro.graph.generators import (
     random_tree,
     watts_strogatz,
 )
-from repro.sim.simulator import run_wave_simulation
+from repro.api import run_campaign
 
 from repro.adversary.waves import RandomWaveAttack, TargetedWaveAttack
 
@@ -119,7 +119,7 @@ def test_random_wave_campaign_matches_traversal(
     """Full-kill random-wave campaigns, invariant-checked every round."""
 
     def campaign(fast: bool):
-        return run_wave_simulation(
+        return run_campaign(
             make_graph(),
             HEALERS[healer_name](),
             RandomWaveAttack(schedule, seed=13),
@@ -144,7 +144,7 @@ def test_targeted_wave_campaign_matches_traversal(healer_name):
     """Decapitation waves (top-k hubs die at once) hit dense boundaries."""
 
     def campaign(fast: bool):
-        return run_wave_simulation(
+        return run_campaign(
             preferential_attachment(100, 3, seed=17),
             HEALERS[healer_name](),
             TargetedWaveAttack(("constant", 6)),

@@ -22,10 +22,10 @@ class TestCapacityMetricUnit:
         from repro.adversary import RandomAttack
         from repro.core.dash import Dash
         from repro.graph.generators import preferential_attachment
-        from repro.sim.simulator import run_simulation
+        from repro.api import run_campaign
 
         g = preferential_attachment(30, 2, seed=0)
-        res = run_simulation(
+        res = run_campaign(
             g, Dash(), RandomAttack(seed=0), metrics=[CapacityMetric(50)]
         )
         assert res["first_collapse_step"] == -1.0
@@ -35,10 +35,10 @@ class TestCapacityMetricUnit:
         from repro.adversary import NeighborOfMaxAttack
         from repro.core.naive import GraphHeal
         from repro.graph.generators import preferential_attachment
-        from repro.sim.simulator import run_simulation
+        from repro.api import run_campaign
 
         g = preferential_attachment(80, 2, seed=1)
-        res = run_simulation(
+        res = run_campaign(
             g,
             GraphHeal(),
             NeighborOfMaxAttack(seed=1),

@@ -16,7 +16,7 @@ from repro.adversary import ADVERSARIES, make_adversary
 from repro.core.registry import HEALERS, make_healer
 from repro.graph.generators import preferential_attachment
 from repro.sim.metrics import default_metrics
-from repro.sim.simulator import run_simulation
+from repro.api import run_campaign
 
 
 def campaign_fingerprint(healer_name: str, adversary_name: str, seed: int):
@@ -31,7 +31,7 @@ def campaign_fingerprint(healer_name: str, adversary_name: str, seed: int):
         if "seed" in inspect.signature(ADVERSARIES[adversary_name]).parameters
         else {}
     )
-    result = run_simulation(
+    result = run_campaign(
         g,
         make_healer(healer_name, **healer_kwargs),
         make_adversary(adversary_name, **adv_kwargs),

@@ -24,7 +24,7 @@ from repro.core import (
 )
 from repro.graph.generators import complete_kary_tree, preferential_attachment
 from repro.sim import ExperimentSpec, run_experiment
-from repro.sim.simulator import run_simulation
+from repro.api import run_campaign
 
 
 class TestTheorem1Claims:
@@ -149,7 +149,7 @@ class TestTheorem2Claim:
         depth = 4 if m == 1 else 3
         branching = m + 2
         g = complete_kary_tree(branching, depth)
-        res = run_simulation(
+        res = run_campaign(
             g,
             DegreeBoundedHealer(max_increase=m),
             LevelAttack(branching),
@@ -164,7 +164,7 @@ class TestTheorem2Claim:
         to the constant)."""
         g = complete_kary_tree(3, 5)
         n = g.num_nodes
-        res = run_simulation(g, Dash(), LevelAttack(3), id_seed=0)
+        res = run_campaign(g, Dash(), LevelAttack(3), id_seed=0)
         assert res.peak_delta <= dash_degree_bound(n)
 
 

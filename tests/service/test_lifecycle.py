@@ -1,0 +1,235 @@
+"""End-to-end job lifecycle against real worker subprocesses.
+
+The contract under test, per ISSUE 8's acceptance criteria:
+
+* submit → stream → complete, with streamed per-round records
+  byte-equivalent to a one-shot ``run_campaign`` (same request, ledger
+  attached);
+* cancel mid-run kills the worker and terminates the job;
+* a SIGKILL'd worker's job finishes via ledger resume on a fresh
+  worker, and the *deduped streamed sequence* still equals the
+  straight-through run's — resume is invisible to watchers;
+* a service restart (new :class:`CampaignService` over the same root)
+  loses neither queued nor running jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.service.manager import CampaignService
+from repro.service.jobs import JobState
+from repro.service.request import CampaignRequest, run_request
+from repro.service.stream import ResultStream, ledger_progress
+from repro.sim.parallel import RetryPolicy
+
+
+def make_service(root, **overrides) -> CampaignService:
+    kwargs = dict(
+        max_workers=2,
+        retry_policy=RetryPolicy.immediate(retries=1),
+        checkpoint_every=3,
+        poll_interval=0.02,
+    )
+    kwargs.update(overrides)
+    return CampaignService(root, **kwargs)
+
+
+def pa_request(n=80, deletions=25, seed=4, **overrides) -> CampaignRequest:
+    kwargs = dict(
+        generator="preferential_attachment",
+        generator_params={"n": n},
+        max_deletions=deletions,
+        seed=seed,
+    )
+    kwargs.update(overrides)
+    return CampaignRequest(**kwargs)
+
+
+def round_lines(ledger_path) -> list[str]:
+    """The deduped streamed round sequence, canonically serialized."""
+    records = ResultStream(ledger_path, stop=lambda: True)
+    return [
+        json.dumps(r, sort_keys=True)
+        for r in records
+        if r["type"] == "round"
+    ]
+
+
+def one_shot_round_lines(request, tmp_path) -> tuple[list[str], object]:
+    ledger = tmp_path / "one-shot.jsonl"
+    result = run_request(request, ledger=ledger)
+    return round_lines(ledger), result
+
+
+def wait_for_rounds(service, job_id, rounds, timeout=30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        done, _ = ledger_progress(service.ledger_path(job_id))
+        if done >= rounds:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"{job_id} never reached round {rounds}")
+
+
+class TestSubmitStreamComplete:
+    def test_streamed_rounds_match_one_shot(self, tmp_path):
+        service = make_service(tmp_path / "svc")
+        request = pa_request()
+        job_id, created = service.submit(request)
+        assert created
+        try:
+            view = service.wait(job_id, timeout=60)
+        finally:
+            service.shutdown()
+        assert view["state"] == "done"
+        expected_lines, expected = one_shot_round_lines(request, tmp_path)
+        assert round_lines(service.ledger_path(job_id)) == expected_lines
+        assert view["result"]["deletions"] == expected.deletions
+        assert view["result"]["final_alive"] == expected.final_alive
+        assert view["result"]["values"] == dict(expected.values)
+
+    def test_dedupe_by_spec_hash(self, tmp_path):
+        service = make_service(tmp_path / "svc")
+        try:
+            job_id, created = service.submit(pa_request())
+            dup_id, dup_created = service.submit(pa_request().with_priority(5))
+            assert created and not dup_created
+            assert dup_id == job_id
+            assert service.counters["deduped"] == 1
+        finally:
+            service.shutdown()
+
+    def test_done_job_can_be_resubmitted(self, tmp_path):
+        service = make_service(tmp_path / "svc")
+        try:
+            job_id, _ = service.submit(pa_request(n=40, deletions=8))
+            service.wait(job_id, timeout=60)
+            fresh_id, fresh_created = service.submit(
+                pa_request(n=40, deletions=8)
+            )
+            assert fresh_created and fresh_id != job_id
+        finally:
+            service.shutdown()
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, tmp_path):
+        # max_workers=1 and a long job in front keeps the victim queued
+        service = make_service(tmp_path / "svc", max_workers=1)
+        try:
+            service.submit(pa_request(n=2000, deletions=1500, seed=1))
+            victim, _ = service.submit(pa_request(seed=2))
+            service.poll()
+            view = service.cancel(victim)
+            assert view["state"] == "cancelled"
+            assert service.status(victim)["state"] == "cancelled"
+        finally:
+            service.shutdown()
+
+    def test_cancel_running_job_kills_its_worker(self, tmp_path):
+        service = make_service(tmp_path / "svc", max_workers=1)
+        job_id, _ = service.submit(
+            pa_request(n=2000, deletions=1500, seed=3)
+        )
+        service.start()
+        try:
+            wait_for_rounds(service, job_id, 5)
+            with service._lock:
+                handle = service.workers[job_id]
+            view = service.cancel(job_id)
+            assert view["state"] == "cancelled"
+            assert handle.poll() is not None  # the subprocess is dead
+            # a cancelled job never restarts
+            time.sleep(0.2)
+            assert service.status(job_id)["state"] == "cancelled"
+        finally:
+            service.shutdown()
+
+
+class TestWorkerDeath:
+    def test_sigkill_resume_stream_equals_straight_through(self, tmp_path):
+        service = make_service(tmp_path / "svc", max_workers=1)
+        request = pa_request(n=600, deletions=200, seed=9)
+        job_id, _ = service.submit(request)
+        service.start()
+        try:
+            wait_for_rounds(service, job_id, 12)
+            with service._lock:
+                service.workers[job_id].process.kill()
+            view = service.wait(job_id, timeout=120)
+        finally:
+            service.shutdown()
+        assert view["state"] == "done"
+        assert view["resumes"] == 1
+        assert view["attempts"] == 0  # kills never charge the budget
+        expected_lines, expected = one_shot_round_lines(request, tmp_path)
+        assert round_lines(service.ledger_path(job_id)) == expected_lines
+        assert view["result"]["values"] == dict(expected.values)
+
+    def test_faulting_job_fails_after_retries(self, tmp_path):
+        service = make_service(
+            tmp_path / "svc",
+            retry_policy=RetryPolicy.immediate(retries=1),
+        )
+        # n=0 passes registry validation (names and params are fine)
+        # but explodes inside the worker at graph construction.
+        job_id, _ = service.submit(pa_request(n=0, deletions=None))
+        try:
+            view = service.wait(job_id, timeout=60)
+        finally:
+            service.shutdown()
+        assert view["state"] == "failed"
+        assert view["attempts"] == 2  # first try + one retry
+        assert view["error"]
+        assert service.counters["retries"] == 1
+        assert service.counters["failed"] == 1
+
+
+class TestRestartRecovery:
+    def test_restart_recovers_queued_and_running_jobs(self, tmp_path):
+        root = tmp_path / "svc"
+        service = make_service(root, max_workers=1)
+        running = pa_request(n=600, deletions=200, seed=1)
+        queued = pa_request(n=50, deletions=10, seed=2)
+        j_running, _ = service.submit(running)
+        j_queued, _ = service.submit(queued)
+        service.start()
+        wait_for_rounds(service, j_running, 8)
+        service.shutdown()  # kills the worker; both jobs persisted
+        assert service.status(j_running)["state"] == "checkpointed"
+        assert service.status(j_queued)["state"] == "queued"
+
+        revived = make_service(root, max_workers=2)
+        assert revived.counters["recovered"] == 2
+        try:
+            v_running = revived.wait(j_running, timeout=120)
+            v_queued = revived.wait(j_queued, timeout=60)
+        finally:
+            revived.shutdown()
+        assert v_running["state"] == "done"
+        assert v_queued["state"] == "done"
+        expected_lines, expected = one_shot_round_lines(running, tmp_path)
+        assert round_lines(revived.ledger_path(j_running)) == expected_lines
+        assert v_running["result"]["values"] == dict(expected.values)
+
+    def test_restart_finalizes_job_that_finished_unreaped(self, tmp_path):
+        root = tmp_path / "svc"
+        service = make_service(root)
+        request = pa_request(n=40, deletions=8)
+        job_id, _ = service.submit(request)
+        service.wait(job_id, timeout=60)
+        service.shutdown()
+        # Forge the pre-crash state: the job record says "running" even
+        # though its ledger holds the end record.
+        job = service.jobs[job_id]
+        job.state = JobState.RUNNING
+        service.store.save(job)
+
+        revived = make_service(root)
+        try:
+            assert revived.status(job_id)["state"] == "done"
+            assert revived.status(job_id)["result"] is not None
+        finally:
+            revived.shutdown()

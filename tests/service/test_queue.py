@@ -1,0 +1,74 @@
+"""JobQueue: priority order, backpressure, lazy removal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.service.queue import JobQueue
+
+
+class TestOrdering:
+    def test_higher_priority_pops_first(self):
+        q = JobQueue()
+        q.push("low", priority=0, seq=1)
+        q.push("high", priority=5, seq=2)
+        assert q.pop() == "high"
+        assert q.pop() == "low"
+
+    def test_fifo_within_a_priority(self):
+        q = JobQueue()
+        for seq, job in enumerate(["a", "b", "c"], start=1):
+            q.push(job, priority=1, seq=seq)
+        assert [q.pop(), q.pop(), q.pop()] == ["a", "b", "c"]
+
+    def test_pop_empty_returns_none(self):
+        assert JobQueue().pop() is None
+
+
+class TestBackpressure:
+    def test_push_past_capacity_raises(self):
+        q = JobQueue(capacity=2)
+        q.push("a", priority=0, seq=1)
+        q.push("b", priority=0, seq=2)
+        with pytest.raises(QueueFullError) as excinfo:
+            q.push("c", priority=0, seq=3)
+        assert excinfo.value.limit == 2
+
+    def test_force_bypasses_capacity(self):
+        q = JobQueue(capacity=1)
+        q.push("a", priority=0, seq=1)
+        q.push("requeued", priority=0, seq=2, force=True)
+        assert len(q) == 2
+
+    def test_pop_frees_capacity(self):
+        q = JobQueue(capacity=1)
+        q.push("a", priority=0, seq=1)
+        assert q.pop() == "a"
+        q.push("b", priority=0, seq=2)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(capacity=0)
+
+
+class TestRemoval:
+    def test_remove_skips_entry(self):
+        q = JobQueue()
+        q.push("a", priority=0, seq=1)
+        q.push("b", priority=0, seq=2)
+        assert q.remove("a") is True
+        assert q.pop() == "b"
+        assert q.pop() is None
+
+    def test_remove_unknown_is_false(self):
+        assert JobQueue().remove("ghost") is False
+
+    def test_duplicate_push_is_idempotent(self):
+        q = JobQueue()
+        q.push("a", priority=0, seq=1)
+        q.push("a", priority=0, seq=1)
+        assert len(q) == 1
+        assert "a" in q
+        assert q.pop() == "a"
+        assert q.pop() is None

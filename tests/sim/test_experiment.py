@@ -17,7 +17,7 @@ from repro.sim.experiment import (
 )
 from repro.sim.metrics import ConnectivityMetric, default_metrics
 from repro.sim.parallel import run_tasks
-from repro.sim.simulator import run_wave_simulation
+from repro.api import run_campaign
 from repro.utils.rng import derive_seed
 
 
@@ -238,7 +238,7 @@ class TestWaveSweeps:
 
     def test_sweep_matches_direct_wave_simulation(self):
         """Byte-identity: every cell of a process-parallel wave sweep
-        equals a direct run_wave_simulation call with the same derived
+        equals a direct run_campaign call with the same derived
         seeds and a hand-built adversary."""
         spec = wave_spec(adversary="random-wave:size=4,schedule=geometric")
         rs = run_experiment(spec, jobs=2)
@@ -256,7 +256,7 @@ class TestWaveSweeps:
             attack_seed = derive_seed(
                 spec.master_seed, spec.name, "attack", size, rep
             )
-            direct = run_wave_simulation(
+            direct = run_campaign(
                 GENERATORS.make(
                     spec.generator, seed=graph_seed, force={"n": size}
                 ),

@@ -18,11 +18,11 @@ from repro.sim.metrics import (
     StretchMetric,
     default_metrics,
 )
-from repro.sim.simulator import run_simulation
+from repro.api import run_campaign
 
 
 def run_with(graph, healer, adversary, metrics, **kw):
-    return run_simulation(graph, healer, adversary, metrics=metrics, **kw)
+    return run_campaign(graph, healer, adversary, metrics=metrics, **kw)
 
 
 class TestDegreeMetric:
@@ -137,7 +137,7 @@ class TestStretchMetric:
 class TestDefaultMetrics:
     def test_no_duplicate_keys(self):
         g = preferential_attachment(15, 2, seed=4)
-        res = run_simulation(
+        res = run_campaign(
             g, Dash(), RandomAttack(seed=4), metrics=default_metrics()
         )
         # presence of the flagship keys

@@ -11,7 +11,12 @@ from pathlib import Path
 import pytest
 
 from repro.errors import SweepExecutionError
-from repro.sim.parallel import CellFailure, default_jobs, run_tasks
+from repro.sim.parallel import (
+    CellFailure,
+    RetryPolicy,
+    default_jobs,
+    run_tasks,
+)
 
 
 class _Spec:
@@ -107,6 +112,48 @@ class TestSerial:
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError):
             run_tasks(_tasks(1), jobs=1, retries=-1)
+
+
+class TestRetryPolicy:
+    def test_defaults_match_legacy_arguments(self):
+        policy = RetryPolicy()
+        assert (policy.retries, policy.backoff) == (2, 0.5)
+
+    def test_delay_is_exponential(self):
+        policy = RetryPolicy(retries=3, backoff=0.25)
+        assert [policy.delay(k) for k in (1, 2, 3)] == [0.25, 0.5, 1.0]
+
+    def test_exhausted(self):
+        policy = RetryPolicy(retries=2)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+
+    def test_none_and_immediate_constructors(self):
+        assert RetryPolicy.none() == RetryPolicy(retries=0, backoff=0.0)
+        fast = RetryPolicy.immediate(retries=4)
+        assert (fast.retries, fast.backoff) == (4, 0.0)
+        assert fast.delay(3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-0.1)
+
+    def test_run_tasks_accepts_a_policy(self):
+        with pytest.raises(SweepExecutionError) as exc_info:
+            run_tasks(
+                _tasks(2), jobs=1, worker=fail_rep1_worker,
+                retry_policy=RetryPolicy.immediate(retries=1),
+            )
+        assert exc_info.value.failures[0].attempts == 2
+
+    def test_policy_conflicts_with_legacy_arguments(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_tasks(
+                _tasks(1), jobs=1, worker=ok_worker,
+                retries=1, retry_policy=RetryPolicy.none(),
+            )
 
 
 class TestParallel:

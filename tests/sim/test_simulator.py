@@ -12,6 +12,21 @@ from repro.sim.metrics import DegreeMetric, Metric
 from repro.sim.simulator import run_simulation
 
 
+class TestDeprecation:
+    def test_run_simulation_warns_with_migration_pointer(self):
+        g = preferential_attachment(10, 2, seed=0)
+        with pytest.warns(DeprecationWarning, match="repro.api.run_campaign"):
+            run_simulation(g, Dash(), RandomAttack(seed=1))
+
+    def test_run_wave_simulation_warns_with_migration_pointer(self):
+        from repro.adversary import RandomWaveAttack
+        from repro.sim.simulator import run_wave_simulation
+
+        g = preferential_attachment(10, 2, seed=0)
+        with pytest.warns(DeprecationWarning, match="repro.api.run_campaign"):
+            run_wave_simulation(g, Dash(), RandomWaveAttack(2, seed=1))
+
+
 class TestTermination:
     def test_deletes_everything_by_default(self):
         g = preferential_attachment(20, 2, seed=0)

@@ -8,7 +8,7 @@ from repro.adversary import RandomAttack
 from repro.core.dash import Dash
 from repro.errors import SimulationError
 from repro.graph.generators import preferential_attachment
-from repro.sim.simulator import run_simulation
+from repro.api import run_campaign
 from repro.sim.trace import (
     TraceRecorder,
     load_trace,
@@ -20,7 +20,7 @@ from repro.sim.trace import (
 def record_campaign(n=25, seed=3):
     g = preferential_attachment(n, 2, seed=seed)
     recorder = TraceRecorder(g.copy(), "dash", id_seed=seed)
-    result = run_simulation(
+    result = run_campaign(
         g, Dash(), RandomAttack(seed=seed), id_seed=seed, metrics=[recorder]
     )
     return recorder.trace, result

@@ -25,11 +25,11 @@ class TestPublicApi:
             NeighborOfMaxAttack,
             default_metrics,
             preferential_attachment,
-            run_simulation,
+            run_campaign,
         )
 
         g = preferential_attachment(100, 2, seed=1)
-        result = run_simulation(
+        result = run_campaign(
             g, Dash(), NeighborOfMaxAttack(seed=2), metrics=default_metrics()
         )
         assert result.peak_delta <= 2 * 7
