@@ -93,6 +93,13 @@ CEILINGS = [
         "s",
         "campaign service submit→first-streamed-round latency (PR 8)",
     ),
+    (
+        "campaign_churn_pa4000_m3",
+        lambda e: e["per_op_ratio_vs_delete"],
+        3.0,
+        "x",
+        "churn mixed-round per-op cost vs pure deletions (PR 9)",
+    ),
 ]
 
 

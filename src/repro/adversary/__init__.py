@@ -75,3 +75,11 @@ def make_adversary(spec: str, **kwargs) -> Adversary:
     ``kwargs`` override any arguments carried by the spec string.
     """
     return ADVERSARIES.make(spec, overrides=kwargs)
+
+
+# The churn adversaries (``churn`` / ``trace-churn``) register
+# themselves into ADVERSARIES when their module executes. Bottom import
+# for the same reason as repro.core.registry's: repro.churn.adversaries
+# imports repro.adversary.base, re-entering this package mid-init, and a
+# module-object bind (no attribute access) is safe in any entry order.
+from repro.churn import adversaries as _churn_adversaries  # noqa: E402,F401

@@ -50,6 +50,14 @@ class Adversary(abc.ABC):
     #: whether rounds are simultaneous batches (wave semantics) — the
     #: engine's routing flag; single-victim strategies leave it False
     batch_rounds: ClassVar[bool] = False
+    #: whether :meth:`choose_round` yields *mixed* rounds — an ordered
+    #: sequence of churn operations ``("add", node, attach_targets)`` /
+    #: ``("delete", victim)`` instead of plain victims. The engine then
+    #: executes each operation in order (insertions heal through
+    #: :meth:`~repro.core.network.SelfHealingNetwork.insert_and_heal`).
+    #: Mutually exclusive with :attr:`batch_rounds`; delete-only
+    #: strategies leave it False and are unaffected.
+    mixed_rounds: ClassVar[bool] = False
     #: whether mid-campaign state round-trips through
     #: :meth:`export_state`/:meth:`import_state` (agenda/generator-driven
     #: strategies cannot freeze a live generator and set this False)

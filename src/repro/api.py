@@ -30,12 +30,34 @@ The surface, by area:
 * **Campaign service** — :class:`CampaignRequest`, :func:`run_request`,
   :class:`ServiceClient`, :class:`CampaignService` (the client/server
   pair behind ``repro serve``/``submit``/``watch``).
+* **Churn** — :class:`ChurnAdversary` / :class:`TraceChurnAdversary`
+  (also reachable through the ``"churn:..."`` / ``"trace-churn:..."``
+  spec strings), :class:`ForgivingTree` / :class:`ForgivingGraph` (the
+  insertion-capable healers, also ``"forgiving-tree"`` /
+  ``"forgiving-graph"``), and the trace toolkit —
+  :class:`ChurnTrace`, :class:`ChurnTraceRecorder`,
+  :class:`ScriptedChurn`, :func:`save_churn_trace` /
+  :func:`load_churn_trace`, :func:`save_churn_schedule`,
+  :func:`replay_churn_trace`. The JSONL trace format itself is stable.
 * **Errors** — :class:`ReproError`, the one root to catch.
 """
 
 from __future__ import annotations
 
 from repro.adversary import ADVERSARIES, WAVE_SCHEDULES, make_adversary
+from repro.churn import (
+    ChurnAdversary,
+    ChurnTrace,
+    ChurnTraceRecorder,
+    ForgivingGraph,
+    ForgivingTree,
+    ScriptedChurn,
+    TraceChurnAdversary,
+    load_churn_trace,
+    replay_churn_trace,
+    save_churn_schedule,
+    save_churn_trace,
+)
 from repro.core import HEALERS, make_healer
 from repro.errors import ReproError
 from repro.graph.generators import GENERATORS
@@ -95,6 +117,18 @@ __all__ = [
     "run_request",
     "ServiceClient",
     "CampaignService",
+    # churn
+    "ChurnAdversary",
+    "TraceChurnAdversary",
+    "ForgivingTree",
+    "ForgivingGraph",
+    "ChurnTrace",
+    "ChurnTraceRecorder",
+    "ScriptedChurn",
+    "save_churn_trace",
+    "load_churn_trace",
+    "save_churn_schedule",
+    "replay_churn_trace",
     # errors & identity
     "ReproError",
     "PAPER",

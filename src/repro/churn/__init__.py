@@ -1,0 +1,57 @@
+"""Churn subsystem: insertion-capable healers, adversaries, and traces.
+
+Everything that makes the simulator *reconfigurable* in the paper's
+sense — nodes joining as well as leaving — lives here:
+
+* :mod:`repro.churn.healers` — Forgiving Tree / Forgiving Graph, the
+  churn-native healing strategies (registered in ``HEALERS``);
+* :mod:`repro.churn.adversaries` — the ``churn`` birth/death process and
+  the ``trace-churn`` JSONL replayer (registered in ``ADVERSARIES``);
+* :mod:`repro.churn.trace` — churn-trace record/replay, exposed lazily:
+  it imports the campaign engine, which this package must not pull in at
+  import time (``repro.core.registry`` imports the healers here, and the
+  engine imports the registry — eager import would close that cycle).
+"""
+
+from repro.churn.adversaries import (
+    ChurnAdversary,
+    TraceChurnAdversary,
+    load_churn_ops,
+)
+from repro.churn.healers import ForgivingGraph, ForgivingTree
+
+__all__ = [
+    "ForgivingTree",
+    "ForgivingGraph",
+    "ChurnAdversary",
+    "TraceChurnAdversary",
+    "load_churn_ops",
+    # lazily re-exported from repro.churn.trace (see __getattr__)
+    "ChurnTrace",
+    "ChurnTraceRecorder",
+    "ScriptedChurn",
+    "save_churn_trace",
+    "load_churn_trace",
+    "save_churn_schedule",
+    "replay_churn_trace",
+]
+
+_TRACE_EXPORTS = frozenset(
+    {
+        "ChurnTrace",
+        "ChurnTraceRecorder",
+        "ScriptedChurn",
+        "save_churn_trace",
+        "load_churn_trace",
+        "save_churn_schedule",
+        "replay_churn_trace",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _TRACE_EXPORTS:
+        from repro.churn import trace
+
+        return getattr(trace, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,167 @@
+"""Churn-capable healers: Forgiving Tree and Forgiving Graph.
+
+Trehan's dissertation (arXiv 1305.4675) gives DASH's successors for the
+*reconfigurable* setting the paper's framework was built for — joins and
+leaves interleaved. Both algorithms maintain virtual helper-node
+structures ("wills"): when a node dies, its pre-planned balanced tree of
+helpers takes its place, and a joining node enters as a leaf of an
+existing structure. Our substrate has no virtual nodes, so — following
+the virtual-to-real mapping of the self-healing deterministic-expander
+line (arXiv 1202.2466) — the helper structures are *materialized as real
+edges* among the affected neighbors:
+
+* **Forgiving Tree** (:class:`ForgivingTree`): a deletion is healed by a
+  *heir-rooted* balanced binary reconstruction tree — the heir (the
+  participant with the smallest ``(δ, initial-ID)``, i.e. the
+  least-burdened survivor) takes the deleted node's place at the root,
+  and the remaining participants hang below it in their initial-ID order
+  (FT preserves the children's left-to-right order to keep stretch
+  bounded). A *join* adds exactly **one** edge — the new node becomes a
+  leaf under its least-loaded announced target — which is the paper's
+  O(1) degree increase per insertion, asserted as a per-round invariant
+  by the differential tests.
+* **Forgiving Graph** (:class:`ForgivingGraph`): joint insert+delete
+  healing. Deletions heal like FT; a join may additionally *bridge*: one
+  extra edge to a representative of a second G′ component among the
+  announced targets, so churn itself re-merges partitions instead of
+  waiting for a deletion round to do it. Per join that is at most **2**
+  new edges (still O(1) degree increase), and the two heal edges always
+  land in different pre-round components, so G′ stays a forest
+  (Lemma 1 survives churn).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.base import (
+    Healer,
+    InsertionPlan,
+    InsertionSnapshot,
+    NeighborhoodSnapshot,
+    ReconnectionPlan,
+    empty_plan,
+)
+from repro.core.binary_tree import complete_binary_tree_edges
+
+__all__ = ["ForgivingTree", "ForgivingGraph"]
+
+
+def _heir_tree_plan(snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
+    """The FT deletion layout: heir-rooted, initial-ID-ordered balanced
+    binary tree over ``UN(v,G) ∪ N(v,G′)``.
+
+    The heir — minimum ``(δ, initial ID)``, the least-burdened survivor —
+    absorbs the root role (it "replaces" the deleted node, as FT's will
+    dictates); everyone else keeps their left-to-right order by initial
+    ID, the structure-preserving arrangement FT uses to bound stretch.
+    Distinct from DASH (which δ-sorts the whole layout) and from the
+    naive initial-ID tree (whose root is the minimum-ID node, not the
+    least-burdened one).
+    """
+    participants = snapshot.participants()
+    if len(participants) < 2:
+        return empty_plan(snapshot, component_safe=True)
+    heir = min(participants, key=snapshot._sort_keys.__getitem__)
+    rest = sorted(
+        (u for u in participants if u != heir),
+        key=snapshot.initial_ids.__getitem__,
+    )
+    ordered = [heir] + rest
+    return ReconnectionPlan(
+        participants=tuple(ordered),
+        edges=tuple(complete_binary_tree_edges(ordered)),
+        kind="binary-tree",
+        component_safe=True,
+    )
+
+
+class ForgivingTree(Healer):
+    """Forgiving Tree, materialized: heir-rooted RTs + single-edge joins.
+
+    Guarantee carried over from the dissertation: **each insertion
+    increases any node's degree by at most 1** (the join is one leaf
+    edge), and each deletion adds at most 3 edges per participant (one
+    parent + two children in the balanced RT).
+    """
+
+    name: ClassVar[str] = "forgiving-tree"
+    #: the per-insertion degree-increase bound the differential suite
+    #: asserts every round (O(1) — FT Theorem 1)
+    max_insertion_edges: ClassVar[int] = 1
+
+    def plan(self, snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
+        return _heir_tree_plan(snapshot)
+
+    def insertion_plan(self, snapshot: InsertionSnapshot) -> InsertionPlan:
+        """Join as a leaf: one edge to the least-loaded announced target
+        (minimum ``(current degree, initial ID)``), which also enters G′
+        — a new leaf cannot create a cycle."""
+        if not snapshot.targets:
+            return InsertionPlan(edges=(), heal_edges=(), kind="none")
+        parent = min(
+            snapshot.targets,
+            key=lambda u: (snapshot.degree[u], snapshot.initial_ids[u]),
+        )
+        edge = (snapshot.node, parent)
+        return InsertionPlan(
+            edges=(edge,), heal_edges=(edge,), kind="leaf"
+        )
+
+
+class ForgivingGraph(Healer):
+    """Forgiving Graph, materialized: FT's deletion healing plus
+    component-bridging joins.
+
+    A join attaches to its least-loaded target (as FT does) and, when the
+    announced targets span more than one G′ component, adds one *bridge*
+    edge to the minimum-label foreign component's representative. At most
+    2 edges per insertion (O(1) degree increase), and the bridge merges
+    two components *through the new node* — both heal edges reach
+    distinct pre-round components, so the healing forest stays acyclic.
+    """
+
+    name: ClassVar[str] = "forgiving-graph"
+    #: per-insertion degree-increase bound (attach + at most one bridge)
+    max_insertion_edges: ClassVar[int] = 2
+
+    def plan(self, snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
+        return _heir_tree_plan(snapshot)
+
+    def insertion_plan(self, snapshot: InsertionSnapshot) -> InsertionPlan:
+        if not snapshot.targets:
+            return InsertionPlan(edges=(), heal_edges=(), kind="none")
+        primary = min(
+            snapshot.targets,
+            key=lambda u: (snapshot.degree[u], snapshot.initial_ids[u]),
+        )
+        edges = [(snapshot.node, primary)]
+        # Bridge: the minimum-label foreign component among the targets,
+        # represented by its minimum-initial-ID announced member.
+        home = snapshot.labels[primary]
+        foreign: dict = {}
+        for u in snapshot.targets:
+            lbl = snapshot.labels[u]
+            if lbl == home:
+                continue
+            best = foreign.get(lbl)
+            if best is None or snapshot.initial_ids[u] < (
+                snapshot.initial_ids[best]
+            ):
+                foreign[lbl] = u
+        kind = "leaf"
+        if foreign:
+            bridge = foreign[min(foreign)]
+            edges.append((snapshot.node, bridge))
+            kind = "bridge"
+        return InsertionPlan(
+            edges=tuple(edges), heal_edges=tuple(edges), kind=kind
+        )
+
+
+# Self-registration: executed once, when this module first loads (the
+# registry module imports us at its bottom; see repro.core.registry).
+from repro.core.registry import HEALERS  # noqa: E402
+
+HEALERS.register(ForgivingTree.name, ForgivingTree)
+HEALERS.register(ForgivingGraph.name, ForgivingGraph)

@@ -1,0 +1,249 @@
+"""Churn traces: record, persist, and replay mixed add/delete campaigns.
+
+The churn counterpart of :mod:`repro.sim.trace`. A churn trace pins a
+campaign bit-for-bit — initial graph, node-ID seed, healer name, and the
+realized op schedule (both insertions and deletions) — plus per-event
+fingerprints ``[action, plan_kind, num_edges, id_changes]`` that verify a
+replay, insertions included. Three uses mirror the deletion-only traces:
+reproduce a surprising stochastic-churn run portably, regression-test
+churn healers against golden traces, and compare healers on the
+*identical* churn schedule (``replay_churn_trace(trace,
+healer_name="forgiving-graph")`` vs the recorded DASH run).
+
+The persisted schedule doubles as the input format of the
+``trace-churn`` adversary: :func:`save_churn_schedule` writes the JSONL
+file (one round per line, each line a JSON array of ops) that
+``trace-churn:path=...`` replays inside ordinary experiment sweeps.
+
+Recording note: a :class:`ChurnTraceRecorder` observes per-*event*
+streams, so the recorded schedule is normalized to one op per round.
+Healing is op-sequential either way — fingerprints and final topology
+are unaffected; only the round counter reads higher on replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, ClassVar, Sequence
+
+from repro.adversary.base import Adversary
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+from repro.sim.metrics import Metric
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import HealEvent, SelfHealingNetwork
+
+__all__ = [
+    "ChurnTrace",
+    "ChurnTraceRecorder",
+    "ScriptedChurn",
+    "save_churn_trace",
+    "load_churn_trace",
+    "save_churn_schedule",
+    "replay_churn_trace",
+]
+
+
+def _decode_op(op) -> tuple:
+    """JSON-style op (list or tuple) → the engine's tuple form."""
+    if isinstance(op, (list, tuple)):
+        if len(op) == 2 and op[0] == "delete":
+            return ("delete", op[1])
+        if len(op) == 3 and op[0] == "add":
+            return ("add", op[1], tuple(op[2]))
+    raise SimulationError(f"malformed churn op {op!r}")
+
+
+class ScriptedChurn(Adversary):
+    """Replay an in-memory churn schedule (list of op-lists) verbatim.
+
+    The churn analogue of :class:`~repro.adversary.scripted.ScriptedAttack`
+    — the replay vehicle for :func:`replay_churn_trace` and a convenient
+    way to hand-author mixed rounds in tests. Accepts ops in either tuple
+    or JSON-list form.
+    """
+
+    name: ClassVar[str] = "scripted-churn"
+    mixed_rounds: ClassVar[bool] = True
+
+    def __init__(self, rounds: Sequence[Sequence]) -> None:
+        self._rounds = [
+            [_decode_op(op) for op in round_ops] for round_ops in rounds
+        ]
+        self._pos = 0
+
+    def reset(self, network: "SelfHealingNetwork") -> None:
+        super().reset(network)
+        self._pos = 0
+
+    def choose_round(self, network: "SelfHealingNetwork"):
+        if self._pos >= len(self._rounds):
+            return None
+        ops = self._rounds[self._pos]
+        self._pos += 1
+        return ops
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["pos"] = self._pos
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self._pos = state["pos"]
+
+
+@dataclass
+class ChurnTrace:
+    """A recorded churn campaign."""
+
+    healer: str
+    id_seed: int
+    #: node labels in the original graph's iteration order (random IDs
+    #: are assigned in iteration order; replay must reproduce it)
+    nodes: list
+    #: edge list of the initial graph (sorted, canonical orientation)
+    edges: list[list]
+    #: realized schedule, one op per round (JSON form:
+    #: ``["delete", victim]`` / ``["add", node, [targets...]]``)
+    schedule: list[list] = field(default_factory=list)
+    #: per-event fingerprints: [action, plan_kind, num_edges, id_changes]
+    fingerprints: list[list] = field(default_factory=list)
+
+    def initial_graph(self) -> Graph:
+        g = Graph(self.nodes)
+        for u, v in self.edges:
+            g.add_edge(u, v)
+        return g
+
+
+class ChurnTraceRecorder(Metric):
+    """Metric-shaped churn recorder; attach to ``run_campaign(metrics=…)``.
+
+    Reconstructs each op from its :class:`HealEvent` (an insertion event
+    carries the joiner and its announced targets; a deletion event the
+    victim), so the same recorder works under any mixed-round adversary.
+    """
+
+    def __init__(self, graph: Graph, healer_name: str, id_seed: int) -> None:
+        edges = []
+        for u, v in graph.edges():
+            a, b = (u, v) if repr(u) <= repr(v) else (v, u)
+            edges.append([a, b])
+        edges.sort(key=repr)
+        self.trace = ChurnTrace(
+            healer=healer_name,
+            id_seed=id_seed,
+            nodes=list(graph.nodes()),
+            edges=edges,
+        )
+
+    def on_event(
+        self, network: "SelfHealingNetwork", event: "HealEvent"
+    ) -> None:
+        if event.action == "insert":
+            op = ["add", event.deleted, list(event.participants)]
+        else:
+            op = ["delete", event.deleted]
+        self.trace.schedule.append([op])
+        self.trace.fingerprints.append(
+            [
+                event.action,
+                event.plan_kind,
+                len(event.new_edges),
+                event.id_changes,
+            ]
+        )
+
+    def finalize(self, network: "SelfHealingNetwork") -> dict[str, float]:
+        return {"trace_rounds": float(len(self.trace.schedule))}
+
+
+def save_churn_trace(trace: ChurnTrace, path: str | Path) -> Path:
+    """Serialize a churn trace as JSON (labels must be JSON-compatible)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "repro-churn-trace-v1",
+        "healer": trace.healer,
+        "id_seed": trace.id_seed,
+        "nodes": trace.nodes,
+        "edges": trace.edges,
+        "schedule": trace.schedule,
+        "fingerprints": trace.fingerprints,
+    }
+    p.write_text(json.dumps(payload, indent=1))
+    return p
+
+
+def load_churn_trace(path: str | Path) -> ChurnTrace:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-churn-trace-v1":
+        raise SimulationError(f"{path}: not a repro churn trace file")
+    return ChurnTrace(
+        healer=payload["healer"],
+        id_seed=payload["id_seed"],
+        nodes=list(payload["nodes"]),
+        edges=[list(e) for e in payload["edges"]],
+        schedule=[list(r) for r in payload["schedule"]],
+        fingerprints=[list(f) for f in payload["fingerprints"]],
+    )
+
+
+def save_churn_schedule(trace: ChurnTrace, path: str | Path) -> Path:
+    """Write the trace's op schedule as the JSONL file the ``trace-churn``
+    adversary consumes (one round per line)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(round_ops) for round_ops in trace.schedule]
+    p.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return p
+
+
+def replay_churn_trace(
+    trace: ChurnTrace, *, healer_name: str | None = None, verify: bool = True
+):
+    """Re-execute a churn trace; returns the :class:`SimulationResult`.
+
+    With ``verify=True`` (and the original healer) every event's
+    fingerprint — action included — must match the recording; divergence
+    raises :class:`~repro.errors.SimulationError` naming the round.
+    Passing a different ``healer_name`` replays the same churn schedule
+    against another strategy (fingerprints are then not checked).
+    """
+    from repro.core.registry import make_healer
+    from repro.sim.engine import run_campaign
+
+    target_healer = healer_name or trace.healer
+    check = verify and target_healer == trace.healer
+
+    result = run_campaign(
+        trace.initial_graph(),
+        make_healer(target_healer),
+        ScriptedChurn(trace.schedule),
+        id_seed=trace.id_seed,
+        keep_events=True,
+    )
+    if check:
+        assert result.events is not None
+        if len(result.events) != len(trace.fingerprints):
+            raise SimulationError(
+                f"replay produced {len(result.events)} events, "
+                f"trace has {len(trace.fingerprints)}"
+            )
+        pairs = zip(result.events, trace.fingerprints)
+        for i, (event, fp) in enumerate(pairs):
+            got = [
+                event.action,
+                event.plan_kind,
+                len(event.new_edges),
+                event.id_changes,
+            ]
+            if got != fp:
+                raise SimulationError(
+                    f"replay diverged at round {i + 1}: {got} != {fp}"
+                )
+    return result

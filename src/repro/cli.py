@@ -53,7 +53,7 @@ from repro.sim.metrics import ConnectivityMetric, default_metrics
 from repro.utils.rng import derive_seed
 from repro.version import PAPER, __version__
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_duration"]
 
 #: where `repro serve` keeps job state unless --root says otherwise
 DEFAULT_SERVICE_ROOT = ".repro-service"
@@ -173,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--backoff", type=float, default=0.5,
                      help="retry backoff base in seconds "
                           "(default %(default)s)")
+    srv.add_argument("--retention", default=None, metavar="AGE",
+                     help="prune terminal job directories older than "
+                          "this ('6h', '7d', ...; default: keep forever)")
 
     sbm = sub.add_parser(
         "submit", help="submit one campaign to a running service"
@@ -218,7 +221,40 @@ def build_parser() -> argparse.ArgumentParser:
     can = sub.add_parser("cancel", help="cancel a queued or running job")
     _add_socket_arg(can)
     can.add_argument("job", help="job id")
+
+    gc = sub.add_parser(
+        "gc",
+        help="prune terminal job directories older than a horizon "
+             "(queued/running jobs are never touched)",
+    )
+    gc.add_argument("--root", default=DEFAULT_SERVICE_ROOT,
+                    help="service state directory (default %(default)s)")
+    gc.add_argument("--older-than", required=True, metavar="AGE",
+                    help="age horizon: seconds, or suffixed like "
+                         "'90s', '15m', '6h', '7d'")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="list what would be removed without removing it")
     return parser
+
+
+def parse_duration(text: str) -> float:
+    """``'90'``/``'90s'``/``'15m'``/``'6h'``/``'7d'`` → seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw and raw[-1] in units:
+        scale = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        seconds = float(raw) * scale
+    except ValueError:
+        raise ConfigurationError(
+            f"cannot parse duration {text!r} "
+            "(want seconds or e.g. '90s', '15m', '6h', '7d')"
+        ) from None
+    if seconds < 0:
+        raise ConfigurationError(f"duration must be >= 0, got {text!r}")
+    return seconds
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -381,6 +417,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.protocol import serve_socket, serve_stdio
     from repro.sim.parallel import RetryPolicy
 
+    try:
+        retention = (
+            None if args.retention is None
+            else parse_duration(args.retention)
+        )
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     service = CampaignService(
         args.root,
         max_workers=args.workers,
@@ -390,6 +434,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry_policy=RetryPolicy(
             retries=args.retries, backoff=args.backoff
         ),
+        retention=retention,
     )
     if args.stdio:
         serve_stdio(service)
@@ -512,6 +557,35 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gc(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.jobs import JobStore
+
+    try:
+        horizon = parse_duration(args.older_than)
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    store = JobStore(args.root)
+    if args.dry_run:
+        cutoff = time.time() - horizon
+        doomed = [
+            job.job_id
+            for job in store.load_all()
+            if job.state.terminal and job.updated_at < cutoff
+        ]
+        for job_id in doomed:
+            print(f"would remove {job_id}")
+        print(f"{len(doomed)} job(s) would be removed")
+        return 0
+    removed = store.gc(horizon)
+    for job_id in removed:
+        print(f"removed {job_id}")
+    print(f"{len(removed)} job(s) removed")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figure":
@@ -522,6 +596,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_resume(args)
     if args.command == "list":
         return _cmd_list(args)
+    if args.command == "gc":
+        return _cmd_gc(args)
     service_commands = {
         "serve": _cmd_serve,
         "submit": _cmd_submit,

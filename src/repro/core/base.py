@@ -29,7 +29,13 @@ from typing import ClassVar, Hashable, Mapping
 
 from repro.core.components import NodeId
 
-__all__ = ["NeighborhoodSnapshot", "ReconnectionPlan", "Healer"]
+__all__ = [
+    "NeighborhoodSnapshot",
+    "ReconnectionPlan",
+    "InsertionSnapshot",
+    "InsertionPlan",
+    "Healer",
+]
 
 Node = Hashable
 
@@ -165,6 +171,57 @@ class ReconnectionPlan:
         return len(self.edges)
 
 
+@dataclass(frozen=True)
+class InsertionSnapshot:
+    """Local view available to a healer when ``node`` joins the network.
+
+    The joining node announces itself to ``targets`` (its chosen
+    bootstrap peers, all alive); the healer decides which of those
+    announcements become real edges. All maps are keyed by ``targets``.
+    Locality mirrors the deletion contract: the healer sees only the
+    would-be neighborhood, never the rest of the graph.
+    """
+
+    #: the joining node (not yet in the graph)
+    node: Node
+    #: the joining node's pre-assigned random initial ID
+    node_id: NodeId
+    #: announced attach candidates, in announcement order (all alive)
+    targets: tuple[Node, ...]
+    #: current component label of each target
+    labels: Mapping[Node, NodeId]
+    #: immutable random initial ID of each target
+    initial_ids: Mapping[Node, NodeId]
+    #: degree increase (net) of each target before this insertion
+    delta: Mapping[Node, int]
+    #: current G-degree of each target (before this insertion)
+    degree: Mapping[Node, int]
+
+
+@dataclass(frozen=True)
+class InsertionPlan:
+    """A healer's decision for one insertion.
+
+    ``edges`` are the real G edges to create — every edge must be
+    incident to the joining node with its other endpoint among the
+    snapshot's targets. ``heal_edges`` (⊆ ``edges``) additionally enter
+    the healing graph G′; because each heal edge may bridge at most
+    distinct G′ components through the brand-new node, G′ stays a forest
+    whenever healers pick at most one heal edge per pre-round component.
+    """
+
+    #: real edges to add, each ``(node, target)``
+    edges: tuple[tuple[Node, Node], ...]
+    #: subset of ``edges`` that also enter G′ (the healing structure)
+    heal_edges: tuple[tuple[Node, Node], ...] = ()
+    #: layout tag for analysis ("attach", "leaf", "bridge", "none")
+    kind: str = "attach"
+
+    @property
+    def num_new_edges(self) -> int:
+        return len(self.edges)
+
+
 class Healer(abc.ABC):
     """A self-healing strategy: maps a deletion's local view to new edges.
 
@@ -179,6 +236,18 @@ class Healer(abc.ABC):
     @abc.abstractmethod
     def plan(self, snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
         """Return the edges to add among the deleted node's neighbors."""
+
+    def insertion_plan(self, snapshot: InsertionSnapshot) -> InsertionPlan:
+        """Return the edges to create when a node joins (churn rounds).
+
+        Default: honor every announced target with a real G edge and add
+        nothing to G′ — the join is pure topology, and healing state only
+        grows through subsequent deletions. Churn-aware healers
+        (Forgiving Tree / Forgiving Graph) override this to bound the
+        degree impact and to seed their healing structures.
+        """
+        edges = tuple((snapshot.node, t) for t in snapshot.targets)
+        return InsertionPlan(edges=edges, heal_edges=(), kind="attach")
 
     def reset(self) -> None:
         """Reset per-run state. Default: nothing to do."""

@@ -179,6 +179,8 @@ class ComponentTracker:
     #: report ``split=False``; this is where a deferred split surfaces)
     lazy_resolutions: int = field(init=False, default=0)
     resolved_splits: int = field(init=False, default=0)
+    #: churn insertions processed via :meth:`insert_round`
+    insert_rounds: int = field(init=False, default=0)
     _parent: dict[Node, Node] = field(init=False, repr=False)
     _root_label: dict[Node, NodeId] = field(init=False, repr=False)
     _root_members: dict[Node, set[Node]] = field(init=False, repr=False)
@@ -364,6 +366,7 @@ class ComponentTracker:
         "slow_batch_rounds",
         "lazy_resolutions",
         "resolved_splits",
+        "insert_rounds",
     )
 
     @staticmethod
@@ -501,7 +504,8 @@ class ComponentTracker:
                 counter[u] = c
             setattr(self, name, counter)
         for name in self._SCALARS:
-            setattr(self, name, state[name])
+            # .get: pre-churn checkpoints lack the newer counters
+            setattr(self, name, state.get(name, 0))
 
     def rebuild_from_healing_graph(self) -> None:
         """Recompute every class from G′ connectivity, labelling each
@@ -673,6 +677,66 @@ class ComponentTracker:
             del self._root_members[root]
             del self._root_label[root]
             del self._label_root[expected_label]
+
+    # ------------------------------------------------------------------
+    # Insertion rounds (churn)
+    # ------------------------------------------------------------------
+    def insert_round(
+        self,
+        node: Node,
+        node_id: NodeId,
+        heal_edges: Sequence[tuple[Node, Node]],
+    ) -> RoundStats:
+        """Process one churn insertion, *after* the network has already
+        added ``node`` (and its edges) to G/G′.
+
+        The joiner registers as a fresh singleton class, then merges with
+        the G′ components its ``heal_edges`` touch — a single quotient
+        class over ``{node} ∪ heal-edge endpoints``, routed through the
+        same MINID merge-and-charge step as every deletion round (so the
+        accounting semantics are shared, not reimplemented). With no heal
+        edges the node stays an isolated singleton component. Pending
+        lazy relabelling is settled first: the merge consults recorded
+        member sets, which must match G′ connectivity.
+        """
+        self.resolve_labels()
+        self.add_node(node, node_id)
+
+        reps: list[Node] = [node]
+        seen: set[Node] = {node}
+        for a, b in heal_edges:
+            for u in (a, b):
+                if u not in seen:
+                    seen.add(u)
+                    reps.append(u)
+        proot: dict[Node, Node] = {}
+        for u in reps:
+            r = self._find(u)
+            members = self._root_members.get(r)
+            if members is None or u not in members:
+                raise SimulationError(
+                    f"heal-edge endpoint {u!r} is not tracked"
+                )
+            proot[u] = r
+
+        (
+            total_changes,
+            total_msgs,
+            components_after,
+            largest,
+            merged_label_set,
+        ) = self._merge_quotient_classes({node: reps}, proot)
+
+        self.insert_rounds += 1
+        return RoundStats(
+            deleted=node,
+            id_changes=total_changes,
+            messages_sent=total_msgs,
+            components_merged=len(merged_label_set),
+            components_after=components_after,
+            largest_component=largest,
+            split=False,
+        )
 
     # ------------------------------------------------------------------
     # Batch rounds (simultaneous multi-node deletion — footnote 1)

@@ -26,7 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable
 
-from repro.core.base import Healer, NeighborhoodSnapshot, ReconnectionPlan
+from repro.core.base import (
+    Healer,
+    InsertionPlan,
+    InsertionSnapshot,
+    NeighborhoodSnapshot,
+    ReconnectionPlan,
+)
 from repro.core.components import ComponentTracker, NodeId, make_node_ids
 from repro.core.components_array import ArrayComponentTracker
 from repro.errors import HealingError, NodeNotFoundError, SimulationError
@@ -34,7 +40,7 @@ from repro.graph.degree_index import DegreeIndex
 from repro.graph.forest import is_forest
 from repro.graph.graph import Graph
 from repro.graph.validation import validate_graph
-from repro.utils.rng import make_rng
+from repro.utils.rng import derive_seed, make_rng
 
 __all__ = ["SelfHealingNetwork", "HealEvent"]
 
@@ -69,6 +75,11 @@ class HealEvent:
     components_merged: int
     components_after: int
     split: bool
+    #: which churn operation produced this event: ``"delete"`` (default —
+    #: a deletion+heal round) or ``"insert"`` (a join healed through
+    #: :meth:`SelfHealingNetwork.insert_and_heal`; ``deleted`` then names
+    #: the *joining* node and ``participants`` its announced targets)
+    action: str = "delete"
 
 
 class SelfHealingNetwork:
@@ -128,6 +139,10 @@ class SelfHealingNetwork:
                 "another network; pass graph.copy() instead"
             )
         graph.degree_listener = self._on_degree_change
+        #: the Init-step ID seed — kept so churn insertions can derive
+        #: each joiner's random ID deterministically (checkpoint replay
+        #: re-executes insertions and must mint identical IDs)
+        self.id_seed = seed
         rng = make_rng(seed)
         self.initial_ids: dict[Node, NodeId] = make_node_ids(
             graph.nodes(), rng
@@ -156,6 +171,8 @@ class SelfHealingNetwork:
         if hasattr(self.tracker, "resolve_labels"):
             self.tracker.lazy = batch_fast_path
         self.deleted_nodes: list[Node] = []
+        #: nodes that joined after Init (churn insertions), in join order
+        self.inserted_nodes: list[Node] = []
         self.events: list[HealEvent] = []
         self.peak_delta: int = 0
         self.healer.reset()
@@ -378,6 +395,165 @@ class SelfHealingNetwork:
         """Process several deletions sequentially (each healed before the
         next), the regime under which DASH's guarantees hold (footnote 1)."""
         return [self.delete_and_heal(u) for u in nodes]
+
+    # ------------------------------------------------------------------
+    # Insertion (churn rounds)
+    # ------------------------------------------------------------------
+    def _insertion_id(self, node: Node) -> NodeId:
+        """Mint the joiner's random initial ID.
+
+        Derived from ``(id_seed, "insert", node)`` so replaying the same
+        insertion after a checkpoint restore mints the identical ID —
+        the Init RNG has long since been consumed and is not part of any
+        snapshot. ``id_seed=None`` (explicitly unseeded) falls back to
+        OS entropy, matching Init's behavior.
+        """
+        if self.id_seed is None:
+            return (make_rng(None).random(), node)
+        rng = make_rng(derive_seed(self.id_seed, "insert", node))
+        return (rng.random(), node)
+
+    def _validate_insertion_plan(
+        self, snapshot: InsertionSnapshot, plan: InsertionPlan
+    ) -> None:
+        node = snapshot.node
+        allowed = set(snapshot.targets)
+        for a, b in plan.edges:
+            if a == b:
+                raise HealingError(f"plan contains self-loop on {a!r}")
+            if a != node and b != node:
+                raise HealingError(
+                    f"insertion edge ({a!r}, {b!r}) is not incident to "
+                    f"the joining node {node!r}"
+                )
+            other = b if a == node else a
+            if other not in allowed:
+                raise HealingError(
+                    f"insertion edge ({a!r}, {b!r}) leaves the announced "
+                    f"targets of {node!r} (locality violation)"
+                )
+        edge_set = set(plan.edges)
+        for e in plan.heal_edges:
+            if e not in edge_set:
+                raise HealingError(
+                    f"heal edge {e!r} is not among the plan's real edges"
+                )
+
+    def insert_and_heal(
+        self, node: Node, attach_targets: Iterable[Node]
+    ) -> HealEvent:
+        """Execute one churn *insertion*: ``node`` joins, announcing
+        ``attach_targets`` as its bootstrap peers, and the healer decides
+        which announcements become edges (and which of those seed G′).
+
+        Insertion edges are **δ-neutral**: they are the intended topology
+        of the reconfigured network (the paper's degree-increase
+        guarantees compare against the graph *with* all insertions
+        present), so both endpoints' initial-degree baselines absorb
+        them and δ keeps measuring healing-induced increase only.
+
+        An empty (post-dedupe) target list is legal and yields an
+        isolated singleton — its component registers with the tracker.
+
+        Returns the :class:`HealEvent` (``action="insert"``); also
+        appends it to ``self.events``.
+        """
+        if self.graph.has_node(node):
+            raise SimulationError(f"cannot insert {node!r}: already present")
+        if node in self.initial_ids:
+            raise SimulationError(
+                f"cannot insert {node!r}: label was already used this "
+                "campaign (inserted nodes need fresh labels)"
+            )
+        targets: list[Node] = []
+        seen: set[Node] = set()
+        for t in attach_targets:
+            if not self.graph.has_node(t):
+                raise NodeNotFoundError(t)
+            if t not in seen:
+                seen.add(t)
+                targets.append(t)
+        target_tuple = tuple(targets)
+
+        node_id = self._insertion_id(node)
+        degree = self.graph.degrees_of(target_tuple)
+        initial_degree = self.initial_degree
+        snapshot = InsertionSnapshot(
+            node=node,
+            node_id=node_id,
+            targets=target_tuple,
+            labels=self.tracker.labels_of(target_tuple),
+            initial_ids={u: self.initial_ids[u] for u in target_tuple},
+            delta={u: d - initial_degree[u] for u, d in degree.items()},
+            degree=degree,
+        )
+        plan = self.healer.insertion_plan(snapshot)
+        self._validate_insertion_plan(snapshot, plan)
+
+        # The join: node enters both G and G′ (G′ membership keeps the
+        # tracker's classes ≡ components-of-G′ invariant — a singleton
+        # is a component too), then the granted edges land in G. Each
+        # accepted edge bumps both endpoints' baselines (δ-neutrality);
+        # the joiner's baseline is simply its full post-join degree.
+        self.graph.add_node(node)
+        self.healing_graph.add_node(node)
+        self.initial_ids[node] = node_id
+        self.inserted_nodes.append(node)
+        added = 0
+        touched: set[Node] = {node}
+        for a, b in plan.edges:
+            if self.graph.add_edge(a, b):
+                added += 1
+                other = b if a == node else a
+                initial_degree[other] += 1
+                touched.add(other)
+        for a, b in plan.heal_edges:
+            self.healing_graph.add_edge(a, b)
+        initial_degree[node] = self.graph.degree(node)
+        for u in touched:
+            self._delta_index.push(
+                u, self.graph.degree(u) - initial_degree[u]
+            )
+
+        # Component bookkeeping: register the joiner and merge it with
+        # the G′ components its heal edges touch (MINID semantics).
+        stats = self.tracker.insert_round(node, node_id, plan.heal_edges)
+
+        d = self._delta_index.max_key(default=0)
+        if d > self.peak_delta:
+            self.peak_delta = d
+
+        event = HealEvent(
+            step=len(self.inserted_nodes),
+            deleted=node,
+            plan_kind=plan.kind,
+            participants=target_tuple,
+            new_edges=tuple(plan.edges),
+            edges_added_to_g=added,
+            id_changes=stats.id_changes,
+            messages_sent=stats.messages_sent,
+            components_merged=stats.components_merged,
+            components_after=stats.components_after,
+            split=stats.split,
+            action="insert",
+        )
+        self.events.append(event)
+
+        if self.check_invariants:
+            validate_graph(self.graph)
+            validate_graph(self.healing_graph)
+            self.tracker.check_consistency()
+            self.graph.check_degree_index()
+            self.check_delta_index()
+            for u in self.healing_graph.nodes():
+                if not self.graph.has_node(u):
+                    raise SimulationError(f"G' node {u!r} missing from G")
+            for a, b in self.healing_graph.edges():
+                if not self.graph.has_edge(a, b):
+                    raise SimulationError(
+                        f"E' edge ({a!r},{b!r}) missing from E"
+                    )
+        return event
 
     # ------------------------------------------------------------------
     # Simultaneous batch deletion (paper footnote 1)

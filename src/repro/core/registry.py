@@ -69,3 +69,13 @@ def make_healer(spec: str, **kwargs) -> Healer:
     ``make_healer("degree-bounded:max_increase=3")`` are equivalent).
     """
     return HEALERS.make(spec, overrides=kwargs)
+
+
+# The churn healers (Forgiving Tree / Forgiving Graph) register
+# themselves into HEALERS when their module executes. The import sits at
+# the bottom — after HEALERS exists — because repro.churn.healers imports
+# repro.core.base, which initializes repro.core and re-enters this
+# module; at that point the bottom import merely binds the (possibly
+# still-initializing) module object without touching its attributes, so
+# every import entry order resolves.
+from repro.churn import healers as _churn_healers  # noqa: E402,F401

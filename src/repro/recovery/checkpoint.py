@@ -251,19 +251,39 @@ def _graph_nodes(payload: dict) -> list[Node]:
 
 
 def _encode_victim(victim: Node) -> object:
+    """Victims, batch super-nodes, and churn ops share one codec.
+
+    A mixed (churn) round's ops arrive as ``("add", node, targets)`` /
+    ``("delete", victim)`` tuples; delete ops flatten to the bare victim
+    (indistinguishable from a classic round's victim — replay treats
+    them identically) and add ops become ``{"add": [node, targets]}``.
+    Checkpointable nodes are ints/strs, so the tags cannot collide with
+    node values.
+    """
     if isinstance(victim, frozenset):
         return {"batch": sorted(victim, key=repr)}
+    if (
+        isinstance(victim, tuple)
+        and victim
+        and victim[0] in ("add", "delete")
+    ):
+        if victim[0] == "add":
+            return {"add": [victim[1], list(victim[2])]}
+        return victim[1]
     return victim
 
 
 def _decode_victim(payload: object) -> Node:
     if isinstance(payload, dict):
+        if "add" in payload:
+            node, targets = payload["add"]
+            return ("add", node, tuple(targets))
         return frozenset(payload["batch"])
     return payload
 
 
 def _encode_event(event: HealEvent) -> dict:
-    return {
+    payload = {
         "step": event.step,
         "deleted": _encode_victim(event.deleted),
         "plan_kind": event.plan_kind,
@@ -276,6 +296,11 @@ def _encode_event(event: HealEvent) -> dict:
         "components_after": event.components_after,
         "split": event.split,
     }
+    # Written only for non-default actions so delete-only campaigns keep
+    # their pre-churn checkpoint bytes.
+    if event.action != "delete":
+        payload["action"] = event.action
+    return payload
 
 
 def _decode_event(payload: dict) -> HealEvent:
@@ -291,6 +316,7 @@ def _decode_event(payload: dict) -> HealEvent:
         components_merged=payload["components_merged"],
         components_after=payload["components_after"],
         split=payload["split"],
+        action=payload.get("action", "delete"),
     )
 
 
@@ -629,6 +655,14 @@ class CampaignRecorder:
         if checkpointer is not None:
             recorder._chain_base = checkpoint_file
             recorder._chain_len = chain_len
+            # The restored network's initial_ids already contain any
+            # churn-inserted nodes; __init__'s live-snapshot default
+            # would fold them into the static set and the next full
+            # snapshot would silently drop their IDs/degrees. The static
+            # payload records the true campaign-start node set.
+            recorder._static_nodes = frozenset(
+                _static_node_seq(checkpointer.read_static())
+            )
         if ledger_obj is not None:
             ledger_obj.append(
                 {
@@ -961,6 +995,7 @@ def _restore_network(
     network.check_invariants = static["params"]["check_invariants"]
     network.batch_fast_path = static["params"]["batch_fast_path"]
     network.initial_n = static["initial_n"]
+    network.id_seed = static["params"]["id_seed"]
     network.initial_degree = initial_degree
     network._delta_index = DegreeIndex(network._delta_of)
     for u in graph.nodes():
@@ -972,6 +1007,11 @@ def _restore_network(
         network._delta_index.push(u, graph.degree(u) - base)
     graph.degree_listener = network._on_degree_change
     network.initial_ids = initial_ids
+    # Churn-inserted nodes ride the dynamic snapshot as extra IDs; only
+    # their count matters downstream (insertion step numbering /
+    # result.insertions), and insertion order is not recoverable from
+    # the sorted table — harmless, nothing orders by it.
+    network.inserted_nodes = [u for u, _ in dynamic["extra_initial_ids"]]
     network.healing_graph = healing_graph
     network.tracker = ComponentTracker(
         graph=graph,
@@ -1011,12 +1051,14 @@ def _initial_network(static: dict, healer: object) -> SelfHealingNetwork:
     network.check_invariants = static["params"]["check_invariants"]
     network.batch_fast_path = static["params"]["batch_fast_path"]
     network.initial_n = static["initial_n"]
+    network.id_seed = static["params"]["id_seed"]
     network.initial_degree = initial_degree
     network._delta_index = DegreeIndex(network._delta_of)
     for u in initial_degree:
         network._delta_index.push(u, 0)
     graph.degree_listener = network._on_degree_change
     network.initial_ids = initial_ids
+    network.inserted_nodes = []
     network.healing_graph = Graph(nodes)
     network.tracker = ComponentTracker(
         graph=graph,
@@ -1227,10 +1269,21 @@ def _replay_deltas(
     which keeps fault-injecting exempt metrics from re-firing on
     history."""
     batch_rounds = static["params"]["batch_rounds"]
+    mixed_rounds = static["params"].get("mixed_rounds", False)
     for delta_path, delta in deltas:
         for round_victims in delta["victim_rounds"]:
             victims = [_decode_victim(v) for v in round_victims]
-            if batch_rounds:
+            if mixed_rounds:
+                # A churn round's ops, in execution order: tagged add
+                # tuples insert (the joiner's ID re-derives from the
+                # network's id_seed, identically to the original run),
+                # bare nodes delete.
+                for v in victims:
+                    if isinstance(v, tuple) and v and v[0] == "add":
+                        network.insert_and_heal(v[1], v[2])
+                    else:
+                        network.delete_and_heal(v)
+            elif batch_rounds:
                 network.delete_batch_and_heal(victims)
             else:
                 if len(victims) != 1:
@@ -1312,6 +1365,7 @@ def resume_campaign(
         adversary=restored.adversary,
         metrics=restored.metrics,
         batch_rounds=params["batch_rounds"],
+        mixed_rounds=params.get("mixed_rounds", False),
         stop_alive=params["stop_alive"],
         max_rounds=params["max_rounds"],
         max_deletions=params["max_deletions"],

@@ -264,3 +264,29 @@ class JobStore:
             except (OSError, ValueError, KeyError, ServiceError):
                 continue
         return sorted(jobs, key=lambda j: j.seq)
+
+    def delete(self, job_id: str) -> None:
+        """Remove a job's directory (ledger, checkpoints, and all)."""
+        import shutil
+
+        shutil.rmtree(self._job_dir(job_id), ignore_errors=True)
+
+    def gc(self, older_than_s: float, *, now: float | None = None) -> list[str]:
+        """Prune *terminal* jobs not updated for ``older_than_s`` seconds.
+
+        Queued, running, and checkpointed jobs are never touched, no
+        matter how old — only ``done`` / ``failed`` / ``cancelled``
+        records age out. Unreadable job directories are also left alone
+        (they may be a job mid-create). Returns the removed job ids.
+        """
+        if older_than_s < 0:
+            raise ServiceError(
+                f"gc horizon must be >= 0 seconds, got {older_than_s}"
+            )
+        cutoff = (time.time() if now is None else now) - older_than_s
+        removed = []
+        for job in self.load_all():
+            if job.state.terminal and job.updated_at < cutoff:
+                self.delete(job.job_id)
+                removed.append(job.job_id)
+        return removed

@@ -18,6 +18,10 @@ to ``max_workers`` worker subprocesses. Its supervision step
 3. **Refresh** per-job round counters from the ledgers (observability).
 4. **Dispatch** queued jobs onto free worker slots, highest priority
    first.
+5. **Retain** — with a ``retention`` horizon configured, prune terminal
+   job directories that haven't been updated for that many seconds
+   (queued/running/checkpointed jobs are never pruned; see
+   :meth:`~CampaignService.gc`).
 
 Every state transition is persisted before its action, so
 :meth:`~CampaignService.recover` (run at construction) rebuilds the
@@ -60,6 +64,7 @@ class CampaignService:
         heartbeat_ttl: float = DEFAULT_HEARTBEAT_TTL,
         retry_policy: RetryPolicy | None = None,
         poll_interval: float = 0.05,
+        retention: float | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(
@@ -73,6 +78,14 @@ class CampaignService:
         self.heartbeat_ttl = heartbeat_ttl
         self.retry_policy = retry_policy or RetryPolicy()
         self.poll_interval = poll_interval
+        if retention is not None and retention < 0:
+            raise ValueError(
+                f"retention must be >= 0 seconds or None, got {retention}"
+            )
+        #: age (seconds since last update) after which *terminal* jobs
+        #: are pruned from disk by the supervision loop; None keeps them
+        #: forever. Live jobs are never pruned regardless of age.
+        self.retention = retention
         self.jobs: dict[str, Job] = {}
         self.workers: dict[str, WorkerHandle] = {}
         self._lock = threading.RLock()
@@ -89,6 +102,7 @@ class CampaignService:
             "resumes": 0,
             "retries": 0,
             "recovered": 0,
+            "gc_removed": 0,
         }
         self.recover()
 
@@ -227,10 +241,33 @@ class CampaignService:
 
     # -- supervision -----------------------------------------------------
     def poll(self) -> None:
-        """One supervision step: reap, expire, dispatch."""
+        """One supervision step: reap, expire, dispatch, retain."""
         with self._lock:
             self._reap()
             self._dispatch()
+            if self.retention is not None:
+                self.gc(self.retention)
+
+    # -- retention -------------------------------------------------------
+    def gc(self, older_than_s: float) -> list[str]:
+        """Prune terminal jobs not updated for ``older_than_s`` seconds.
+
+        Delegates the disk sweep to :meth:`JobStore.gc` (which refuses to
+        touch non-terminal jobs) and drops the pruned ids from the
+        in-memory table so the status surface matches the disk. Returns
+        the removed job ids.
+        """
+        with self._lock:
+            removed = []
+            cutoff = time.time() - older_than_s
+            for job_id in sorted(self.jobs):
+                job = self.jobs[job_id]
+                if job.state.terminal and job.updated_at < cutoff:
+                    self.store.delete(job_id)
+                    del self.jobs[job_id]
+                    removed.append(job_id)
+            self.counters["gc_removed"] += len(removed)
+            return removed
 
     def _reap(self) -> None:
         for job_id, handle in list(self.workers.items()):

@@ -91,8 +91,13 @@ class CampaignRequest:
         registries["healer"].validate_spec(
             self.healer, overrides=dict(self.healer_params)
         )
-        registries["adversary"].validate_spec(
+        adversary_name = registries["adversary"].validate_spec(
             self.adversary, overrides=dict(self.adversary_params)
+        )
+        from repro.sim.experiment import ensure_churn_compatible_backend
+
+        ensure_churn_compatible_backend(
+            adversary_name, self.generator, self.generator_params
         )
         from repro.sim.metrics import METRICS, default_metric_names
 

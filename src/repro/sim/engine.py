@@ -66,6 +66,8 @@ class SimulationResult:
     events: list[HealEvent] | None = None
     #: the final network (topology after the campaign)
     network: SelfHealingNetwork | None = None
+    #: nodes inserted by churn rounds (0 for delete-only campaigns)
+    insertions: int = 0
 
     def __getitem__(self, key: str) -> float:
         return self.values[key]
@@ -161,6 +163,12 @@ def run_campaign(
     adversary.reset(network)
     if batch_rounds is None:
         batch_rounds = getattr(adversary, "batch_rounds", False)
+    mixed_rounds = getattr(adversary, "mixed_rounds", False)
+    if mixed_rounds and batch_rounds:
+        raise ConfigurationError(
+            f"adversary {adversary.name!r} declares both mixed and batch "
+            "rounds — churn rounds are executed sequentially, not as waves"
+        )
 
     recorder = None
     if (
@@ -186,6 +194,7 @@ def run_campaign(
                 "keep_network": keep_network,
                 "batch_fast_path": batch_fast_path,
                 "batch_rounds": batch_rounds,
+                "mixed_rounds": mixed_rounds,
             },
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
@@ -225,6 +234,7 @@ def run_campaign(
         adversary=adversary,
         metrics=metrics,
         batch_rounds=batch_rounds,
+        mixed_rounds=mixed_rounds,
         stop_alive=stop_alive,
         max_rounds=max_rounds,
         max_deletions=max_deletions,
@@ -236,12 +246,42 @@ def run_campaign(
     )
 
 
+def _normalize_churn_ops(adversary: Adversary, chosen) -> list[tuple]:
+    """Validate one mixed round's operation list.
+
+    Each op is ``("add", node, attach_targets)`` or ``("delete",
+    victim)`` (lists accepted — trace-backed adversaries read JSON).
+    Liveness is checked just-in-time by the executor, not here: a round
+    may legally add a node and delete it later in the same round.
+    """
+    ops: list[tuple] = []
+    for op in chosen:
+        if not isinstance(op, (tuple, list)) or not op:
+            raise SimulationError(
+                f"adversary {adversary.name} yielded malformed churn "
+                f"op {op!r}"
+            )
+        kind = op[0]
+        if kind == "delete" and len(op) == 2:
+            ops.append(("delete", op[1]))
+        elif kind == "add" and len(op) == 3:
+            ops.append(("add", op[1], tuple(op[2])))
+        else:
+            raise SimulationError(
+                f"adversary {adversary.name} yielded malformed churn "
+                f"op {op!r} (want ('add', node, targets) or "
+                "('delete', victim))"
+            )
+    return ops
+
+
 def _drive_campaign(
     *,
     network: SelfHealingNetwork,
     adversary: Adversary,
     metrics: Sequence[Metric],
     batch_rounds: bool,
+    mixed_rounds: bool = False,
     stop_alive: int,
     max_rounds: int | None,
     max_deletions: int | None,
@@ -267,6 +307,32 @@ def _drive_campaign(
         chosen = adversary.choose_round(network)
         if not chosen:
             break
+        if mixed_rounds:
+            # Churn round: execute the ops in order — insertions heal
+            # through insert_and_heal, deletions through the classic
+            # single-victim machinery. Only deletions consume the
+            # max_deletions budget.
+            ops = _normalize_churn_ops(adversary, chosen)
+            events = []
+            for op in ops:
+                if op[0] == "add":
+                    events.append(network.insert_and_heal(op[1], op[2]))
+                else:
+                    victim = op[1]
+                    if not network.graph.has_node(victim):
+                        raise SimulationError(
+                            f"adversary {adversary.name} chose dead node "
+                            f"{victim!r}"
+                        )
+                    events.append(network.delete_and_heal(victim))
+                    deletions += 1
+            rounds += 1
+            for metric in metrics:
+                for event in events:
+                    metric.on_event(network, event)
+            if recorder is not None:
+                recorder.after_round(rounds, deletions, ops)
+            continue
         # Dedupe once, in first-appearance order, before any deletion:
         # what reaches the network is exactly what gets counted.
         victims: list[Node] = []
@@ -302,6 +368,8 @@ def _drive_campaign(
     # eager trackers and for campaigns that never deferred).
     network.resolve_labels()
     values: dict[str, float] = {"waves": float(rounds)} if batch_rounds else {}
+    if mixed_rounds:
+        values["insertions"] = float(len(network.inserted_nodes))
     for metric in metrics:
         out = metric.finalize(network)
         overlap = values.keys() & out.keys()
@@ -319,6 +387,7 @@ def _drive_campaign(
         values=values,
         events=list(network.events) if keep_events else None,
         network=network if keep_network else None,
+        insertions=len(network.inserted_nodes),
     )
     if recorder is not None:
         recorder.finish(result, rounds)

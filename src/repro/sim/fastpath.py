@@ -146,6 +146,7 @@ def supports(
         and type(adversary) is RandomAttack
         and not metrics
         and not batch_rounds
+        and not getattr(adversary, "mixed_rounds", False)
         and not keep_events
         and not keep_network
         and not network.check_invariants

@@ -1,0 +1,133 @@
+"""Direct-from-the-dissertation reference healers for differential tests.
+
+Independent re-implementations of Forgiving Tree / Forgiving Graph from
+their textual descriptions (heir-rooted balanced binary will for a
+deletion; single-leaf / attach-plus-bridge joins), sharing **no layout
+code** with :mod:`repro.churn.healers` — participants, the heir, the
+1-indexed heap edges, and the bridge representative are all recomputed
+from the raw snapshot fields. The differential suite runs identical
+churn schedules through the production healer and this reference and
+asserts the full heal-event streams match exactly.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.base import (
+    Healer,
+    InsertionPlan,
+    InsertionSnapshot,
+    NeighborhoodSnapshot,
+    ReconnectionPlan,
+)
+
+
+def _reference_participants(snapshot: NeighborhoodSnapshot) -> list:
+    """UN(v,G) ∪ N(v,G′), recomputed from scratch: one minimum-initial-ID
+    representative per foreign component label (ascending label), then
+    the G′-neighbors ascending by initial ID."""
+    rep_by_label: dict = {}
+    for u in sorted(snapshot.g_neighbors, key=repr):
+        if u in snapshot.gprime_neighbors:
+            continue
+        label = snapshot.labels[u]
+        if label == snapshot.deleted_label:
+            continue
+        best = rep_by_label.get(label)
+        if best is None or snapshot.initial_ids[u] < snapshot.initial_ids[best]:
+            rep_by_label[label] = u
+    un = [rep_by_label[label] for label in sorted(rep_by_label)]
+    gp = sorted(
+        snapshot.gprime_neighbors, key=lambda u: snapshot.initial_ids[u]
+    )
+    return un + gp
+
+
+def _reference_heir_tree(snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
+    """The FT will, executed: the least-burdened participant (minimum
+    (δ, initial ID)) replaces the deleted node at the root; everyone
+    else fills the complete binary tree left-to-right in initial-ID
+    order. Heap edges via the 1-indexed parent formula p → p//2."""
+    parts = _reference_participants(snapshot)
+    if len(parts) < 2:
+        return ReconnectionPlan(
+            participants=tuple(parts),
+            edges=(),
+            kind="none",
+            component_safe=True,
+        )
+    heir = min(
+        parts, key=lambda u: (snapshot.delta[u], snapshot.initial_ids[u])
+    )
+    rest = sorted(
+        (u for u in parts if u != heir),
+        key=lambda u: snapshot.initial_ids[u],
+    )
+    order = [heir] + rest
+    edges = [
+        (order[p // 2 - 1], order[p - 1]) for p in range(2, len(order) + 1)
+    ]
+    return ReconnectionPlan(
+        participants=tuple(order),
+        edges=tuple(edges),
+        kind="binary-tree",
+        component_safe=True,
+    )
+
+
+def _least_loaded(snapshot: InsertionSnapshot):
+    return min(
+        snapshot.targets,
+        key=lambda u: (snapshot.degree[u], snapshot.initial_ids[u]),
+    )
+
+
+class ReferenceForgivingTree(Healer):
+    """FT from the text: heir-rooted will + one leaf edge per join."""
+
+    name: ClassVar[str] = "ref-forgiving-tree"
+
+    def plan(self, snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
+        return _reference_heir_tree(snapshot)
+
+    def insertion_plan(self, snapshot: InsertionSnapshot) -> InsertionPlan:
+        if not snapshot.targets:
+            return InsertionPlan(edges=(), heal_edges=(), kind="none")
+        edge = (snapshot.node, _least_loaded(snapshot))
+        return InsertionPlan(edges=(edge,), heal_edges=(edge,), kind="leaf")
+
+
+class ReferenceForgivingGraph(Healer):
+    """FG from the text: FT deletions; joins attach to the least-loaded
+    target and bridge to (at most) one foreign component."""
+
+    name: ClassVar[str] = "ref-forgiving-graph"
+
+    def plan(self, snapshot: NeighborhoodSnapshot) -> ReconnectionPlan:
+        return _reference_heir_tree(snapshot)
+
+    def insertion_plan(self, snapshot: InsertionSnapshot) -> InsertionPlan:
+        if not snapshot.targets:
+            return InsertionPlan(edges=(), heal_edges=(), kind="none")
+        primary = _least_loaded(snapshot)
+        home = snapshot.labels[primary]
+        rep_by_label: dict = {}
+        for u in sorted(snapshot.targets, key=repr):
+            label = snapshot.labels[u]
+            if label == home:
+                continue
+            best = rep_by_label.get(label)
+            if (
+                best is None
+                or snapshot.initial_ids[u] < snapshot.initial_ids[best]
+            ):
+                rep_by_label[label] = u
+        edges = [(snapshot.node, primary)]
+        kind = "leaf"
+        if rep_by_label:
+            edges.append((snapshot.node, rep_by_label[min(rep_by_label)]))
+            kind = "bridge"
+        return InsertionPlan(
+            edges=tuple(edges), heal_edges=tuple(edges), kind=kind
+        )

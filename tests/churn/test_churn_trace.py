@@ -1,0 +1,129 @@
+"""Record/replay tests for churn traces: save/load round-trips,
+bit-for-bit replay verification, divergence detection, healer swaps, and
+the JSONL hand-off to the ``trace-churn`` adversary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import make_adversary
+from repro.churn.trace import (
+    ChurnTraceRecorder,
+    load_churn_trace,
+    replay_churn_trace,
+    save_churn_schedule,
+    save_churn_trace,
+)
+from repro.core.registry import HEALERS
+from repro.errors import SimulationError
+from repro.graph.generators import GENERATORS
+from repro.sim.engine import run_campaign
+
+HEALER = "forgiving-graph"
+SCHEDULE = "churn:rate=1.5,lifetime=exp,mean=5,rounds=20"
+
+
+def _graph(seed=9):
+    return GENERATORS.make("erdos_renyi:p=0.2", seed=seed, force={"n": 16})
+
+
+def _record(tmp_path=None):
+    graph = _graph()
+    recorder = ChurnTraceRecorder(graph, HEALER, id_seed=4)
+    result = run_campaign(
+        graph,
+        HEALERS.make(HEALER),
+        make_adversary(SCHEDULE, seed=6),
+        id_seed=4,
+        metrics=[recorder],
+        keep_events=True,
+    )
+    return recorder.trace, result
+
+
+def test_recorder_captures_every_event():
+    trace, result = _record()
+    assert len(trace.schedule) == len(result.events)
+    assert len(trace.fingerprints) == len(result.events)
+    assert result.values["trace_rounds"] == float(len(result.events))
+    actions = {fp[0] for fp in trace.fingerprints}
+    assert actions == {"insert", "delete"}  # a genuinely mixed campaign
+    # Each recorded round carries exactly one op, in event order.
+    for round_ops, event in zip(trace.schedule, result.events):
+        (op,) = round_ops
+        kind = "add" if event.action == "insert" else "delete"
+        assert op[0] == kind and op[1] == event.deleted
+
+
+def test_save_load_round_trip(tmp_path):
+    trace, _ = _record()
+    path = save_churn_trace(trace, tmp_path / "t.json")
+    loaded = load_churn_trace(path)
+    assert loaded == trace
+
+
+def test_load_rejects_non_trace_files(tmp_path):
+    path = tmp_path / "x.json"
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(SimulationError, match="not a repro churn trace"):
+        load_churn_trace(path)
+
+
+def test_replay_reproduces_fingerprints_bit_for_bit():
+    trace, original = _record()
+    replayed = replay_churn_trace(trace)  # raises on any divergence
+    assert len(replayed.events) == len(original.events)
+    assert replayed.events == original.events
+    assert replayed.insertions == original.insertions
+    assert replayed.peak_delta == original.peak_delta
+
+
+def test_replay_detects_tampered_fingerprint():
+    trace, _ = _record()
+    trace.fingerprints[3][2] += 1  # corrupt one num_edges
+    with pytest.raises(SimulationError, match="diverged at round 4"):
+        replay_churn_trace(trace)
+
+
+def test_replay_detects_truncated_trace():
+    trace, _ = _record()
+    trace.fingerprints.pop()
+    with pytest.raises(SimulationError, match="events"):
+        replay_churn_trace(trace)
+
+
+def test_healer_swap_replays_same_churn():
+    """The recorded schedule replays against a different healer: same
+    ops, same insertion count, no fingerprint check (plans differ)."""
+    trace, original = _record()
+    swapped = replay_churn_trace(trace, healer_name="dash")
+    assert swapped.insertions == original.insertions
+    assert swapped.deletions == original.deletions
+    assert [e.action for e in swapped.events] == [
+        e.action for e in original.events
+    ]
+    # And the per-event victims/joiners line up even though plans differ.
+    assert [e.deleted for e in swapped.events] == [
+        e.deleted for e in original.events
+    ]
+
+
+def test_schedule_jsonl_feeds_trace_churn_adversary(tmp_path):
+    """save_churn_schedule → trace-churn adversary → identical events:
+    the on-disk JSONL hand-off loses nothing."""
+    trace, original = _record()
+    path = save_churn_schedule(trace, tmp_path / "sched.jsonl")
+
+    result = run_campaign(
+        trace.initial_graph(),
+        HEALERS.make(HEALER),
+        make_adversary(f"trace-churn:path={path}"),
+        id_seed=trace.id_seed,
+        keep_events=True,
+    )
+    assert result.events == original.events
+    fingerprints = [
+        [e.action, e.plan_kind, len(e.new_edges), e.id_changes]
+        for e in result.events
+    ]
+    assert fingerprints == trace.fingerprints

@@ -85,6 +85,7 @@ def _emit(result) -> None:
             {
                 "initial_n": result.initial_n,
                 "deletions": result.deletions,
+                "insertions": result.insertions,
                 "final_alive": result.final_alive,
                 "peak_delta": result.peak_delta,
                 "values": result.values,

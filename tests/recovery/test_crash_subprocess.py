@@ -43,15 +43,18 @@ def _run_driver(args, *, env_extra=None, expect_kill=False):
     return json.loads(proc.stdout.strip().splitlines()[-1])
 
 
-# ≥3 healers × both round schedules (single-victim and wave), per the
-# crash-safety acceptance bar.
+# ≥3 healers × all three round schedules (single-victim, wave, and
+# mixed churn), per the crash-safety acceptance bar.
 MATRIX = [
     ("dash", "max-node"),
     ("dash", "random-wave"),
+    ("dash", "churn:rate=0.5,mean=10"),
     ("dash-random-order", "random"),
     ("dash-random-order", "targeted-wave"),
     ("graph-heal-delta", "max-node"),
     ("graph-heal-delta", "random-wave"),
+    ("forgiving-tree", "churn"),
+    ("forgiving-graph", "churn:rate=1.5,lifetime=pareto,mean=6"),
 ]
 
 

@@ -1,0 +1,210 @@
+"""Retention/GC tests: terminal job directories age out, live jobs are
+untouchable, and a restarted service recovers exactly the jobs GC left.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cli import main as cli_main, parse_duration
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.jobs import JobState, JobStore
+from repro.service.manager import CampaignService
+from repro.service.request import CampaignRequest
+from repro.sim.parallel import RetryPolicy
+
+
+def make_service(root, **overrides) -> CampaignService:
+    kwargs = dict(
+        max_workers=2,
+        retry_policy=RetryPolicy.immediate(retries=1),
+        checkpoint_every=3,
+        poll_interval=0.02,
+    )
+    kwargs.update(overrides)
+    return CampaignService(root, **kwargs)
+
+
+def tiny_request(seed=4, **overrides) -> CampaignRequest:
+    kwargs = dict(
+        generator="preferential_attachment",
+        generator_params={"n": 40},
+        max_deletions=8,
+        seed=seed,
+    )
+    kwargs.update(overrides)
+    return CampaignRequest(**kwargs)
+
+
+def _age(store: JobStore, job_id: str, seconds: float) -> None:
+    """Backdate a persisted job's updated_at (simulate wall-clock age)."""
+    job = store.load(job_id)
+    job.updated_at = time.time() - seconds
+    store.save(job)
+
+
+# ----------------------------------------------------------------------
+# parse_duration
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "text,seconds",
+    [
+        ("90", 90.0),
+        ("90s", 90.0),
+        ("15m", 900.0),
+        ("6h", 21600.0),
+        ("7d", 604800.0),
+        ("1.5h", 5400.0),
+        ("0", 0.0),
+    ],
+)
+def test_parse_duration(text, seconds):
+    assert parse_duration(text) == seconds
+
+
+@pytest.mark.parametrize("text", ["", "abc", "5w", "-3h", "h"])
+def test_parse_duration_rejects_garbage(text):
+    with pytest.raises(ConfigurationError):
+        parse_duration(text)
+
+
+# ----------------------------------------------------------------------
+# JobStore.gc
+# ----------------------------------------------------------------------
+
+def test_store_gc_prunes_only_old_terminal_jobs(tmp_path):
+    service = make_service(tmp_path / "svc")
+    done_id, _ = service.submit(tiny_request(seed=1))
+    fresh_id, _ = service.submit(tiny_request(seed=2))
+    service.wait(done_id, timeout=60)
+    service.wait(fresh_id, timeout=60)
+    queued_id, _ = service.submit(tiny_request(seed=3))
+    service.shutdown()  # queued job never dispatched again after this
+
+    store = service.store
+    _age(store, done_id, seconds=3600)
+    _age(store, queued_id, seconds=3600)  # old but NOT terminal
+
+    removed = store.gc(600)
+    assert removed == [done_id]
+    assert not (store.jobs_dir / done_id).exists()
+    assert (store.jobs_dir / fresh_id).exists()     # terminal but young
+    assert (store.jobs_dir / queued_id).exists()    # old but live
+    assert store.load(queued_id).state is JobState.QUEUED
+
+
+def test_store_gc_rejects_negative_horizon(tmp_path):
+    with pytest.raises(ServiceError, match=">= 0"):
+        JobStore(tmp_path).gc(-1)
+
+
+def test_store_gc_never_touches_any_live_state(tmp_path):
+    """Every non-terminal state survives a zero-horizon sweep; every
+    terminal state is removed by it."""
+    service = make_service(tmp_path / "svc")
+    done_id, _ = service.submit(tiny_request(seed=1))
+    service.wait(done_id, timeout=60)
+    cancelled_id, _ = service.submit(tiny_request(seed=2))
+    service.cancel(cancelled_id)
+    queued_id, _ = service.submit(tiny_request(seed=3))
+    service.shutdown()
+
+    store = service.store
+    for job_id in (done_id, cancelled_id, queued_id):
+        _age(store, job_id, seconds=3600)
+
+    removed = store.gc(0)
+    assert sorted(removed) == sorted([done_id, cancelled_id])
+    assert (store.jobs_dir / queued_id).exists()
+
+
+# ----------------------------------------------------------------------
+# Manager retention
+# ----------------------------------------------------------------------
+
+def test_manager_retention_prunes_during_poll(tmp_path):
+    service = make_service(tmp_path / "svc", retention=600.0)
+    done_id, _ = service.submit(tiny_request(seed=1))
+    service.wait(done_id, timeout=60)
+    assert done_id in service.jobs
+
+    _age(service.store, done_id, seconds=3600)
+    service.jobs[done_id].updated_at = time.time() - 3600
+    service.poll()
+    service.shutdown()
+
+    assert done_id not in service.jobs
+    assert not (service.store.jobs_dir / done_id).exists()
+    assert service.counters["gc_removed"] == 1
+    with pytest.raises(ServiceError, match="unknown job"):
+        service.status(done_id)
+
+
+def test_manager_rejects_negative_retention(tmp_path):
+    with pytest.raises(ValueError, match="retention"):
+        make_service(tmp_path / "svc", retention=-1.0)
+
+
+def test_restart_recovers_exactly_what_gc_left(tmp_path):
+    """GC then restart: pruned jobs are gone for good, the queued job
+    recovers and still runs to completion — GC can never eat work."""
+    root = tmp_path / "svc"
+    service = make_service(root)
+    done_id, _ = service.submit(tiny_request(seed=1))
+    service.wait(done_id, timeout=60)
+    queued_id, _ = service.submit(tiny_request(seed=2))
+    service.shutdown()
+
+    _age(service.store, done_id, seconds=3600)
+    _age(service.store, queued_id, seconds=3600)
+    assert service.store.gc(600) == [done_id]
+
+    restarted = make_service(root)
+    try:
+        assert done_id not in restarted.jobs
+        assert queued_id in restarted.jobs
+        view = restarted.wait(queued_id, timeout=60)
+    finally:
+        restarted.shutdown()
+    assert view["state"] == "done"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_gc_dry_run_then_real(tmp_path, capsys):
+    root = tmp_path / "svc"
+    service = make_service(root)
+    done_id, _ = service.submit(tiny_request(seed=1))
+    service.wait(done_id, timeout=60)
+    queued_id, _ = service.submit(tiny_request(seed=2))
+    service.shutdown()
+    _age(service.store, done_id, seconds=3600)
+    _age(service.store, queued_id, seconds=3600)
+
+    rc = cli_main(
+        ["gc", "--root", str(root), "--older-than", "10m", "--dry-run"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert f"would remove {done_id}" in out
+    assert (service.store.jobs_dir / done_id).exists()  # dry run
+
+    rc = cli_main(["gc", "--root", str(root), "--older-than", "10m"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert f"removed {done_id}" in out
+    assert not (service.store.jobs_dir / done_id).exists()
+    assert (service.store.jobs_dir / queued_id).exists()
+
+
+def test_cli_gc_rejects_bad_duration(tmp_path, capsys):
+    rc = cli_main(
+        ["gc", "--root", str(tmp_path), "--older-than", "fortnight"]
+    )
+    assert rc == 2
+    assert "cannot parse duration" in capsys.readouterr().err

@@ -72,6 +72,21 @@ def schedule_specs() -> st.SearchStrategy[str]:
     )
 
 
+def churn_adversary_specs() -> st.SearchStrategy[str]:
+    """Parameterized churn (mixed add/delete rounds): both lifetime
+    distributions, sub- and super-unit join rates."""
+    return st.builds(
+        lambda rate, lifetime, mean, rounds: (
+            f"churn:rate={rate},lifetime={lifetime},"
+            f"mean={mean},rounds={rounds}"
+        ),
+        st.sampled_from([0.5, 1.0, 2.5]),
+        st.sampled_from(["exp", "pareto"]),
+        st.sampled_from([3.0, 6.0]),
+        st.integers(4, 16),
+    )
+
+
 def adversary_specs() -> st.SearchStrategy[str]:
     wave_names = [n for n in BARE_ADVERSARIES if n.endswith("-wave")]
     waves = st.builds(
@@ -81,7 +96,12 @@ def adversary_specs() -> st.SearchStrategy[str]:
         schedule_specs(),
     )
     level = st.integers(2, 3).map(lambda b: f"level-attack:branching={b}")
-    return st.one_of(st.sampled_from(BARE_ADVERSARIES), waves, level)
+    return st.one_of(
+        st.sampled_from(BARE_ADVERSARIES),
+        waves,
+        level,
+        churn_adversary_specs(),
+    )
 
 
 def generator_specs() -> st.SearchStrategy[str]:
@@ -172,10 +192,39 @@ def test_strategies_draw_valid_specs(healer, adversary, generator, schedule):
 def test_registry_pools_are_live_and_nonempty():
     """The pools come from the registries, not a hand-written list."""
     assert "dash" in BARE_HEALERS and "graph-heal" in BARE_HEALERS
+    assert "forgiving-tree" in BARE_HEALERS
+    assert "forgiving-graph" in BARE_HEALERS
     assert "random" in BARE_ADVERSARIES
     assert any(n.endswith("-wave") for n in BARE_ADVERSARIES)
     assert "scripted" not in BARE_ADVERSARIES  # needs a victim sequence
+    assert "churn" in BARE_ADVERSARIES  # mixed rounds join the fuzz
+    assert "trace-churn" not in BARE_ADVERSARIES  # needs a schedule file
     assert "random_tree" in BARE_GENERATORS
+
+
+churn_campaign_specs = st.fixed_dictionaries(
+    {
+        "generator": generator_specs(),
+        "healer": healer_specs(),
+        "adversary": churn_adversary_specs(),
+        "n": st.integers(8, 18),
+        "seed": st.integers(0, 2**20),
+    }
+)
+
+
+@given(churn_campaign_specs)
+@settings(max_examples=30, deadline=None)
+def test_fuzzed_churn_campaigns_hold_invariants(spec):
+    """Mixed add/delete rounds under every healer in the pool keep
+    component labels and the degree/δ indexes exact after *every* op —
+    insertion events run the same ground-truth checks deletions do."""
+    result = run_fuzzed_campaign(spec)
+    assert result.insertions >= 0
+    assert result.values.get("insertions") == float(result.insertions)
+    assert result.final_alive >= 0
+    check_component_labels(result.network)
+    check_degree_index(result.network)
 
 
 def test_fuzzer_shrinks_to_minimal_failing_spec():

@@ -8,6 +8,8 @@ and the fail-fast error paths.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.adversary import ADVERSARIES
@@ -190,9 +192,15 @@ class TestRegistryCore:
 
 #: minimal constructor arguments for components whose factories require
 #: them (everything else round-trips bare)
+#: a tiny committed churn schedule (the trace-churn factory reads its
+#: file at construction, so the round-trip needs a real path)
+_CHURN_SCHEDULE = Path(__file__).parent / "data" / "churn_schedule.jsonl"
+
 _REQUIRED = {
     "adversary": {
-        "level-attack": "level-attack:3", "scripted": "scripted:(0, 1)"
+        "level-attack": "level-attack:3",
+        "scripted": "scripted:(0, 1)",
+        "trace-churn": f"trace-churn:path={_CHURN_SCHEDULE}",
     },
     "generator": {
         "complete_kary_tree": "complete_kary_tree:2,2",
