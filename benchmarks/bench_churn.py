@@ -20,6 +20,15 @@ Acceptance workloads:
 * ``churn_forgiving-graph_pa100000_m3`` — n=100,000 steady-state churn
   (~200k ops) under 90 s single-process (FULL mode only; measured ~14 s
   at introduction).
+* ``campaign_churn_array_pa16000_m3`` — n=16,000 session-expiry drain
+  (churn with arrivals shut off) under DASH on the **array backend vs
+  the object backend, interleaved in the same process** (best-of-3).
+  Delete-only churn rounds fuse on the array side; the in-test assert
+  and the CI perf gate both demand ≥ 2× (measured ~5× at introduction).
+* ``churn_dash_array_pa1000000_m3`` — n=1,000,000 steady-state churn on
+  the array backend (~330k mixed ops over n/24 rounds) under 300 s
+  (FULL mode only) — the million-node fast-path substrate running a
+  real insert-and-delete workload on grown slot maps.
 
 Every measurement persists to ``results/BENCH_core.json``
 (merge-on-write) plus a text table under ``results/``.
@@ -47,13 +56,22 @@ RATE = 4.0
 
 
 def _run_churn_campaign(
-    n: int, *, healer: str = "forgiving-graph", seed: int = 2
+    n: int,
+    *,
+    healer: str = "forgiving-graph",
+    seed: int = 2,
+    backend: str = "object",
+    rounds: int | None = None,
 ) -> tuple[float, int, "object"]:
     """One steady-state churn campaign; graph generation excluded.
     Returns (seconds, total ops, result)."""
-    g = preferential_attachment(n, 3, seed=1)
+    g = preferential_attachment(n, 3, seed=1, backend=backend)
     adversary = ChurnAdversary(
-        rate=RATE, lifetime="exp", mean=n / RATE, rounds=n // 4, seed=seed
+        rate=RATE,
+        lifetime="exp",
+        mean=n / RATE,
+        rounds=n // 4 if rounds is None else rounds,
+        seed=seed,
     )
     with Timer() as t:
         res = run_campaign(
@@ -162,6 +180,59 @@ def test_campaign_churn_pa4000(bench_recorder):
     )
 
 
+def _run_drain_campaign(n: int, *, backend: str, seed: int = 2) -> float:
+    """Session-expiry drain: the churn model with arrivals shut off
+    (rate=0), so every initial node's lifetime expires and the campaign
+    runs to extinction through the mixed-round dispatch. Delete-only
+    churn rounds are exactly what the fused kernel accelerates on the
+    array backend. Graph generation excluded; returns seconds."""
+    g = preferential_attachment(n, 3, seed=1, backend=backend)
+    adversary = ChurnAdversary(
+        rate=0.0, lifetime="exp", mean=n / 4, rounds=None, seed=seed
+    )
+    with Timer() as t:
+        res = run_campaign(g, make_healer("dash"), adversary, id_seed=0)
+    assert res.final_alive == 0 and res.deletions == n
+    assert res.insertions == 0
+    return t.elapsed
+
+
+def test_campaign_churn_array_pa16000(bench_recorder):
+    """Acceptance workload: the array-backend churn leg. A session-expiry
+    drain (DASH, n=16,000) on the array backend vs the object backend,
+    **interleaved in the same process** (best-of-3). Delete-only churn
+    rounds fuse on the array side, so the recorded like-for-like speedup
+    must hold ≥ 2× (measured ~5× at introduction); the CI perf gate
+    enforces the same floor."""
+    n = 16_000
+    array_s = object_s = float("inf")
+    for _ in range(3):  # interleaved: both sides see the same conditions
+        object_s = min(object_s, _run_drain_campaign(n, backend="object"))
+        array_s = min(array_s, _run_drain_campaign(n, backend="array"))
+    speedup = object_s / array_s
+    bench_recorder.record(
+        "campaign_churn_array_pa16000_m3",
+        seconds=array_s,
+        rounds=n,
+        adversary="churn",
+        healer="dash",
+        n=n,
+        topology="preferential-attachment-m3",
+        backend="array",
+        object_seconds=round(object_s, 6),
+        speedup_vs_object=round(speedup, 2),
+    )
+    print(
+        f"\nchurn array pa16000: array {array_s:.3f}s vs object "
+        f"{object_s:.3f}s — {speedup:.2f}x"
+    )
+    assert speedup >= 2.0, (
+        f"array-backend churn drain only {speedup:.2f}x over object "
+        "(floor 2x) — the fused kernel is no longer engaging on "
+        "delete-only churn rounds"
+    )
+
+
 @pytest.mark.skipif(not FULL, reason="REPRO_BENCH_FULL=1 only")
 def test_campaign_churn_pa100000(bench_recorder):
     """Acceptance workload: n=100,000 steady-state churn (~200k mixed
@@ -183,4 +254,41 @@ def test_campaign_churn_pa100000(bench_recorder):
     )
     assert seconds < 90, (
         f"n=100,000 churn campaign took {seconds:.1f}s (budget 90s)"
+    )
+
+
+@pytest.mark.skipif(not FULL, reason="REPRO_BENCH_FULL=1 only")
+def test_campaign_churn_array_pa1000000(bench_recorder):
+    """Acceptance workload: n=1,000,000 steady-state churn on the array
+    backend under DASH, inside a 300 s budget — the scale the fail-fast
+    guard used to wall off from churn entirely. Steady-state rounds mix
+    arrivals in from the start, so this runs the honest generic engine
+    end to end on grown slot maps (~330k mixed ops over n/24 rounds)."""
+    n = 1_000_000
+    seconds, ops, res = _run_churn_campaign(
+        n, healer="dash", backend="array", rounds=n // 24
+    )
+    bench_recorder.record(
+        "churn_dash_array_pa1000000_m3",
+        seconds=seconds,
+        rounds=n // 24,
+        adversary="churn",
+        healer="dash",
+        n=n,
+        topology="preferential-attachment-m3",
+        backend="array",
+        ops=ops,
+        insertions=res.insertions,
+        deletions=res.deletions,
+        ops_per_sec=round(ops / seconds, 2),
+        budget_seconds=300,
+    )
+    print(
+        f"\nchurn array pa1000000: {seconds:.1f}s, {ops} ops "
+        f"({ops / seconds:.0f} ops/s), population "
+        f"{res.initial_n}→{res.final_alive}"
+    )
+    assert seconds < 300, (
+        f"n=1,000,000 array churn campaign took {seconds:.1f}s "
+        "(budget 300s)"
     )

@@ -18,6 +18,9 @@ bench job and fails the build if any hard-won speedup has slid back:
 * array backend (PR 7): interleaved full-kill DASH campaign on the
   slotted array backend (fused scalar kernel) vs the object backend —
   ≥ 5×;
+* array churn (PR 10): interleaved session-expiry churn drain on the
+  array backend (delete-only churn rounds fuse) vs the object backend —
+  ≥ 2×;
 * crash safety (PR 6): recorder-hook share of a checkpointed √n-wave
   campaign at ``checkpoint_every=32`` — ≤ 5% overhead (a ceiling, not
   a floor: this one guards the *cost* of running crash-safe);
@@ -73,6 +76,13 @@ GATES = [
         lambda e: e["speedup_vs_object"],
         5.0,
         "array backend + fused kernel vs object backend (PR 7)",
+    ),
+    (
+        "campaign_churn_array_pa16000_m3",
+        lambda e: e["speedup_vs_object"],
+        2.0,
+        "array-backend churn drain (fused delete-only rounds) vs object "
+        "(PR 10)",
     ),
 ]
 

@@ -40,6 +40,7 @@ List available components::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Sequence
 
@@ -252,6 +253,14 @@ def parse_duration(text: str) -> float:
             f"cannot parse duration {text!r} "
             "(want seconds or e.g. '90s', '15m', '6h', '7d')"
         ) from None
+    # NaN slips past the `< 0` check (every comparison is False) and
+    # then poisons every `updated_at < cutoff` in JobStore.gc the same
+    # way, so `gc --older-than nan` would silently never prune;
+    # `inf` would be an explicit "never prune" nobody asked for.
+    if not math.isfinite(seconds):
+        raise ConfigurationError(
+            f"duration must be finite, got {text!r}"
+        )
     if seconds < 0:
         raise ConfigurationError(f"duration must be >= 0, got {text!r}")
     return seconds

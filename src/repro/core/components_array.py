@@ -49,6 +49,18 @@ Node = Hashable
 _ABSENT = -1
 
 
+def _grown_capacity(slot: int, current: int) -> int:
+    """Capacity after growing to cover ``slot``: amortized doubling.
+
+    Churn mints monotonically increasing labels, so slot stores grow one
+    past the end over and over; exact-fit extension would realloc-and-copy
+    every time (quadratic bytes moved over a campaign). Doubling keeps the
+    total copy cost linear. Trailing slots are filled with the absent
+    sentinel and are semantically identical to never-grown slots.
+    """
+    return max(slot + 1, 2 * current, 8)
+
+
 def _slot_of(key) -> int:
     """The slot index for ``key``, or ``-1`` when it cannot be one."""
     if isinstance(key, int) and key >= 0:
@@ -68,7 +80,8 @@ class _IntSlotMap:
     def _grow(self, slot: int) -> None:
         slots = self._slots
         if slot >= len(slots):
-            slots.extend([_ABSENT] * (slot + 1 - len(slots)))
+            cap = _grown_capacity(slot, len(slots))
+            slots.extend([_ABSENT] * (cap - len(slots)))
 
     def __getitem__(self, key: Node) -> Node:
         slot = _slot_of(key)
@@ -130,7 +143,7 @@ class _LabelSlotMap:
     def _grow(self, slot: int) -> None:
         origin = self._origin
         if slot >= len(origin):
-            pad = slot + 1 - len(origin)
+            pad = _grown_capacity(slot, len(origin)) - len(origin)
             origin.extend([_ABSENT] * pad)
             self._rand.extend([0.0] * pad)
 
@@ -222,7 +235,7 @@ class _LabelRootMap:
     def _grow(self, slot: int) -> None:
         root = self._root
         if slot >= len(root):
-            pad = slot + 1 - len(root)
+            pad = _grown_capacity(slot, len(root)) - len(root)
             root.extend([_ABSENT] * pad)
             self._rand.extend([0.0] * pad)
 
@@ -322,7 +335,8 @@ class _MembersSlotMap:
     def _grow(self, slot: int) -> None:
         sets = self._sets
         if slot >= len(sets):
-            sets.extend([None] * (slot + 1 - len(sets)))
+            pad = _grown_capacity(slot, len(sets)) - len(sets)
+            sets.extend([None] * pad)
 
     def __getitem__(self, key: Node) -> set[Node]:
         slot = _slot_of(key)
@@ -482,3 +496,50 @@ class ArrayComponentTracker(ComponentTracker):
     def rebuild_from_healing_graph(self) -> None:
         super().rebuild_from_healing_graph()
         self._rearm()
+
+    def rebuild_from_fused(
+        self, parent: list[int], lab_origin: list[int], alive: list[int]
+    ) -> None:
+        """Adopt a fused kernel's union-find state (churn bailout).
+
+        The kernel ran some prefix of the campaign on its own parallel
+        arrays; when it hands control back to the generic loop, the
+        tracker must expose the same observable state: the same component
+        partition over the live slots, each carrying the same label, with
+        every ever-tracked slot (tombstones included) still present in
+        the forest so re-adding a dead label is refused exactly as the
+        object tracker refuses it. Internal tree shape and the cumulative
+        accounting counters are *not* reproduced — both are unobservable
+        here, since fusion requires ``keep_network=False`` and no
+        metrics/recorder.
+        """
+        n = len(parent)
+        members = _MembersSlotMap()
+        mget = members.get
+        for u in alive:
+            r = u
+            while parent[r] != r:
+                r = parent[r]
+            x = u
+            while parent[x] != r:
+                parent[x], x = r, parent[x]
+            s = mget(r)
+            if s is None:
+                members[r] = {u}
+            else:
+                s.add(u)
+        uf = _IntSlotMap()
+        uf._slots = array("q", parent)
+        uf._count = n
+        root_label = _LabelSlotMap()
+        label_root = _LabelRootMap()
+        initial_ids = self.initial_ids
+        for r in members:
+            label = initial_ids[lab_origin[r]]
+            root_label[r] = label
+            label_root[label] = r
+        self._parent = uf
+        self._root_label = root_label
+        self._root_members = members
+        self._label_root = label_root
+        self._dirty_roots = set()

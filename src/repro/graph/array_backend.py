@@ -150,9 +150,19 @@ class ArrayGraph(Graph):
             if nbrs[node] is not None:
                 return
             nbrs[node] = set()
+        elif node > len(nbrs):
+            # Interior (gap) growth doubles capacity: repeated gap jumps
+            # under monotonically increasing churn labels would otherwise
+            # pay an exact-fit realloc-and-copy per join (quadratic list
+            # churn over a campaign). The slack slots past ``node`` are
+            # dead (``None``) until a later add claims them; sequential
+            # appends (``node == len``) stay exact-size so construction-
+            # time graphs keep the hole-free slot layout the fused kernel
+            # and CSR export check for.
+            grown = max(node + 1, 2 * len(nbrs), 8)
+            nbrs.extend([None] * (grown - len(nbrs)))
+            nbrs[node] = set()
         else:
-            if node > len(nbrs):
-                nbrs.extend([None] * (node - len(nbrs)))
             nbrs.append(set())
         self._n_alive += 1
         if self._deg_index is not None:

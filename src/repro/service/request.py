@@ -91,13 +91,8 @@ class CampaignRequest:
         registries["healer"].validate_spec(
             self.healer, overrides=dict(self.healer_params)
         )
-        adversary_name = registries["adversary"].validate_spec(
+        registries["adversary"].validate_spec(
             self.adversary, overrides=dict(self.adversary_params)
-        )
-        from repro.sim.experiment import ensure_churn_compatible_backend
-
-        ensure_churn_compatible_backend(
-            adversary_name, self.generator, self.generator_params
         )
         from repro.sim.metrics import METRICS, default_metric_names
 

@@ -221,6 +221,38 @@ def run_campaign(
             keep_events=keep_events,
             keep_network=keep_network,
         ):
+            if mixed_rounds:
+                # Churn: fuse the delete-only prefix. The kernel either
+                # finishes the campaign or bails at the first insertion
+                # round with repaired state, the surviving counters, and
+                # the already-chosen round — which the generic loop below
+                # then executes first.
+                fused_result, handoff = fastpath.run_fused_churn(
+                    network,
+                    adversary,
+                    stop_alive=stop_alive,
+                    max_rounds=max_rounds,
+                    max_deletions=max_deletions,
+                )
+                if fused_result is not None:
+                    return fused_result
+                fused_rounds, fused_deletions, pending_round = handoff
+                return _drive_campaign(
+                    network=network,
+                    adversary=adversary,
+                    metrics=metrics,
+                    batch_rounds=batch_rounds,
+                    mixed_rounds=mixed_rounds,
+                    stop_alive=stop_alive,
+                    max_rounds=max_rounds,
+                    max_deletions=max_deletions,
+                    rounds=fused_rounds,
+                    deletions=fused_deletions,
+                    keep_events=keep_events,
+                    keep_network=keep_network,
+                    recorder=recorder,
+                    pending_round=pending_round,
+                )
             return fastpath.run_fused(
                 network,
                 adversary,
@@ -290,6 +322,7 @@ def _drive_campaign(
     keep_events: bool,
     keep_network: bool,
     recorder: "CampaignRecorder | None" = None,
+    pending_round=None,
 ) -> SimulationResult:
     """The campaign loop proper, on an already-initialized network.
 
@@ -297,14 +330,21 @@ def _drive_campaign(
     :func:`repro.recovery.checkpoint.resume_campaign` enters with a
     network restored mid-campaign and the surviving round/deletion
     counters — byte-identical continuation falls out of sharing this one
-    loop rather than approximating it.
+    loop rather than approximating it. A fused-churn bailout
+    (:func:`repro.sim.fastpath.run_fused_churn`) enters with
+    ``pending_round`` — the round the kernel already drew from the
+    adversary but could not execute — which is consumed before the next
+    ``choose_round`` call.
     """
     while network.num_alive > stop_alive and network.num_alive > 0:
         if max_rounds is not None and rounds >= max_rounds:
             break
         if max_deletions is not None and deletions >= max_deletions:
             break
-        chosen = adversary.choose_round(network)
+        if pending_round is not None:
+            chosen, pending_round = pending_round, None
+        else:
+            chosen = adversary.choose_round(network)
         if not chosen:
             break
         if mixed_rounds:

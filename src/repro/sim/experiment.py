@@ -55,35 +55,7 @@ __all__ = [
     "run_experiment",
     "run_task",
     "expand_tasks",
-    "ensure_churn_compatible_backend",
 ]
-
-
-def ensure_churn_compatible_backend(
-    adversary_name: str,
-    generator: str,
-    generator_params: Mapping[str, object],
-) -> None:
-    """Fail fast on churn × ``backend=array``.
-
-    Churn adversaries insert nodes mid-campaign; the array backend's
-    slot tables (degrees, adjacency, δ index) are sized at construction
-    and cannot grow, so the combination would die deep inside a worker
-    with an opaque slot-overflow error. Reject it at spec/request
-    construction instead. (Growable array slots are a tracked ROADMAP
-    follow-up; this guard is the single place to delete once they land.)
-    """
-    if not getattr(ADVERSARIES[adversary_name], "mixed_rounds", False):
-        return
-    _, _, kwargs = GENERATORS.parse(generator)
-    merged = {**kwargs, **dict(generator_params)}
-    if merged.get("backend", "object") == "array":
-        raise ConfigurationError(
-            f"adversary {adversary_name!r} inserts nodes, but the "
-            "generator pins backend='array', whose fixed-size slot "
-            "tables cannot grow — run churn campaigns on the object "
-            "backend"
-        )
 
 
 @dataclass(frozen=True)
@@ -193,9 +165,6 @@ class ExperimentSpec:
                 f"max_waves is a round budget for wave adversaries; "
                 f"{self.adversary!r} is single-victim — use max_deletions"
             )
-        ensure_churn_compatible_backend(
-            adversary_name, self.generator, self.generator_params
-        )
         # Metrics already in the run's base set would collide at finalize
         # (duplicate value names) only after a full campaign — reject the
         # known collisions here instead.

@@ -48,7 +48,9 @@ from bisect import bisect_left
 from typing import TYPE_CHECKING, Sequence
 
 from repro.adversary.classic import RandomAttack
+from repro.churn.adversaries import ChurnAdversary, TraceChurnAdversary
 from repro.core.dash import Dash
+from repro.errors import SimulationError
 from repro.graph.array_backend import ArrayGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,7 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import SimulationResult
     from repro.sim.metrics import Metric
 
-__all__ = ["supports", "run_fused"]
+__all__ = ["supports", "run_fused", "run_fused_churn"]
 
 #: campaigns completed by the fused kernel (test observability — the
 #: differential tests assert this moves only for eligible configs)
@@ -138,15 +140,32 @@ def supports(
 
     Exact-type checks (not ``isinstance``): a subclass may override any
     hook the kernel inlines, so only the verbatim classes qualify.
+    Churn adversaries qualify too — their rounds dictate victims (no RNG
+    draw), their ``choose_round`` never consults the network (which the
+    kernel passes with stale public counters), and the kernel bails back
+    to the generic loop at the first insertion round
+    (:func:`run_fused_churn`).
     """
     graph = network.graph
+    if type(adversary) is RandomAttack:
+        # A mixed-round flag on a RandomAttack instance signals a
+        # nonstandard protocol the kernel does not speak — refuse.
+        adversary_ok = (
+            not getattr(adversary, "mixed_rounds", False)
+            and adversary._alive is not None
+        )
+    else:
+        # Churn kernels speak the op protocol, so the flag must be ON.
+        adversary_ok = (
+            type(adversary) in (ChurnAdversary, TraceChurnAdversary)
+            and getattr(adversary, "mixed_rounds", False)
+        )
     return (
-        type(graph) is ArrayGraph
+        adversary_ok
+        and type(graph) is ArrayGraph
         and type(network.healer) is Dash
-        and type(adversary) is RandomAttack
         and not metrics
         and not batch_rounds
-        and not getattr(adversary, "mixed_rounds", False)
         and not keep_events
         and not keep_network
         and not network.check_invariants
@@ -156,7 +175,6 @@ def supports(
         # hole-free slot stores: labels == slot indices, every slot live
         and graph.num_nodes == len(graph._nbrs)
         and len(network.healing_graph._nbrs) == len(graph._nbrs)
-        and adversary._alive is not None
     )
 
 
@@ -376,3 +394,257 @@ def run_fused(
         events=None,
         network=None,
     )
+
+
+def run_fused_churn(
+    network: "SelfHealingNetwork",
+    adversary: "ChurnAdversary | TraceChurnAdversary",
+    *,
+    stop_alive: int,
+    max_rounds: int | None,
+    max_deletions: int | None,
+) -> tuple["SimulationResult | None", tuple[int, int, object] | None]:
+    """Fuse the delete-only prefix of a churn campaign.
+
+    Churn rounds dictate victims, so each deletion runs the same fused
+    delete+heal body as :func:`run_fused` minus the RNG draw. The kernel
+    cannot execute insertions (its slot arrays and the result accounting
+    assume the construction-time population), so at the first round
+    containing an ``add`` op it *bails out*: repairs every invariant it
+    bypassed — graph node/edge counters, degree/δ indexes, ``peak_delta``,
+    ``deleted_nodes``, and the component tracker (rebuilt from the kernel
+    arrays via :meth:`ArrayComponentTracker.rebuild_from_fused
+    <repro.core.components_array.ArrayComponentTracker.rebuild_from_fused>`)
+    — and hands the already-chosen round back to the generic loop.
+
+    Returns ``(result, None)`` when the kernel ran the whole campaign, or
+    ``(None, (rounds, deletions, pending_round))`` on bailout; the caller
+    resumes :func:`~repro.sim.engine._drive_campaign` with those counters
+    and the pending round. The O(n) kernel arrays are built lazily on the
+    first delete-only round, so a campaign whose very first round inserts
+    (steady-state churn) bails with zero setup or repair cost.
+    """
+    from repro.sim.engine import SimulationResult, _normalize_churn_ops
+
+    global _fused_campaigns
+    graph = network.graph
+    healing_graph = network.healing_graph
+    adj = graph._nbrs
+    padj = healing_graph._nbrs
+    n = len(adj)
+    name = adversary.name
+
+    armed = False
+    rand: list[float] = []
+    init_deg: list[int] = []
+    parent: list[int] = []
+    size: list[int] = []
+    lab_origin: list[int] = []
+    peak_delta = network.peak_delta
+    victims: list[int] = []
+
+    classes: dict[int, int] = {}
+    cget = classes.get
+    cclear = classes.clear
+    cvalues = classes.values
+
+    n_alive = graph.num_nodes
+    rounds = 0
+    deletions = 0
+    pending = None
+    while n_alive > stop_alive:
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        if max_deletions is not None and deletions >= max_deletions:
+            break
+        chosen = adversary.choose_round(network)
+        if not chosen:
+            break
+        ops = _normalize_churn_ops(adversary, chosen)
+        if any(op[0] == "add" for op in ops):
+            pending = chosen
+            break
+        if not armed:
+            initial_ids = network.initial_ids
+            rand = [initial_ids[u][0] for u in range(n)]
+            init_deg = [len(s) for s in adj]
+            parent = list(range(n))
+            size = [1] * n
+            lab_origin = list(range(n))
+            armed = True
+        for op in ops:
+            v = op[1]
+            if (
+                not isinstance(v, int)
+                or not 0 <= v < n
+                or adj[v] is None
+            ):
+                raise SimulationError(
+                    f"adversary {name} chose dead node {v!r}"
+                )
+
+            # find(v) with path compression; decrement its component.
+            root = v
+            while parent[root] != root:
+                root = parent[root]
+            x = v
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            vlo = lab_origin[root]
+            s = size[root] - 1
+            size[root] = s
+            old_root = root if s else -1
+
+            # Delete v from G and G′ (grab its neighbor sets first).
+            g_nbrs = adj[v]
+            adj[v] = None
+            for w in g_nbrs:
+                adj[w].discard(v)
+            gp = padj[v]
+            padj[v] = None
+            for w in gp:
+                padj[w].discard(v)
+            n_alive -= 1
+            victims.append(v)
+
+            # UN(v,G): one min-initial-ID representative per foreign
+            # class (see run_fused for the invariant arguments).
+            cclear()
+            for w in g_nbrs:
+                if w in gp:
+                    continue
+                r = parent[w]
+                if parent[r] != r:
+                    while parent[r] != r:
+                        r = parent[r]
+                    x = w
+                    while parent[x] != r:
+                        parent[x], x = r, parent[x]
+                lo = lab_origin[r]
+                if lo != vlo:
+                    best = cget(lo)
+                    if best is None or rand[w] < rand[best] or (
+                        rand[w] == rand[best] and w < best
+                    ):
+                        classes[lo] = w
+            k = len(classes) + len(gp)
+            if k < 2:
+                continue
+
+            # DASH layout: ascending (δ, initial ID).
+            participants = list(cvalues())
+            participants.extend(gp)
+            if k == 2:
+                a, b = participants
+                if (len(adj[a]) + 1 - init_deg[a], rand[a], a) <= (
+                    len(adj[b]) + 1 - init_deg[b], rand[b], b
+                ):
+                    ordered = participants
+                else:
+                    ordered = [b, a]
+            else:
+                ordered = sorted(
+                    participants,
+                    key=lambda u: (
+                        len(adj[u]) + 1 - init_deg[u], rand[u], u
+                    ),
+                )
+
+            # Complete binary tree in heap order.
+            for i in range(1, k):
+                a = ordered[(i - 1) >> 1]
+                b = ordered[i]
+                la = adj[a]
+                if b not in la:
+                    la.add(b)
+                    adj[b].add(a)
+                    d = len(la) - init_deg[a]
+                    if d > peak_delta:
+                        peak_delta = d
+                    d = len(adj[b]) - init_deg[b]
+                    if d > peak_delta:
+                        peak_delta = d
+                padj[a].add(b)
+                padj[b].add(a)
+
+            # MINID propagation over the touched components.
+            roots = []
+            if gp and old_root >= 0:
+                roots.append(old_root)
+            for u in cvalues():
+                r = parent[u]
+                while parent[r] != r:
+                    r = parent[r]
+                if r not in roots:
+                    roots.append(r)
+            if len(roots) > 1:
+                fo = lab_origin[roots[0]]
+                big = roots[0]
+                bl = size[big]
+                for r in roots[1:]:
+                    o = lab_origin[r]
+                    if rand[o] < rand[fo] or (
+                        rand[o] == rand[fo] and o < fo
+                    ):
+                        fo = o
+                    L = size[r]
+                    if L > bl:
+                        big = r
+                        bl = L
+                tot = 0
+                for r in roots:
+                    tot += size[r]
+                    if r != big:
+                        parent[r] = big
+                size[big] = tot
+                lab_origin[big] = fo
+        rounds += 1
+        deletions += len(ops)
+
+    if not armed:
+        # No fused round ran: nothing was mutated, nothing to repair.
+        if pending is not None:
+            return None, (rounds, deletions, pending)
+        return SimulationResult(
+            initial_n=network.initial_n,
+            deletions=0,
+            final_alive=n_alive,
+            peak_delta=peak_delta,
+            values={"insertions": 0.0},
+            events=None,
+            network=None,
+        ), None
+
+    # Repair what the fused prefix bypassed (both exits): counters, the
+    # degree/δ machinery, and the deletion log.
+    alive = [u for u, s in enumerate(adj) if s is not None]
+    graph._n_alive = n_alive
+    graph._num_edges = sum(len(adj[u]) for u in alive) // 2
+    graph._deg_index = None
+    healing_graph._n_alive = n_alive
+    healing_graph._num_edges = (
+        sum(len(s) for s in padj if s is not None) // 2
+    )
+    healing_graph._deg_index = None
+    network.peak_delta = peak_delta
+    network.deleted_nodes.extend(victims)
+    delta_index = network._delta_index
+    for u in alive:
+        delta_index.push(u, len(adj[u]) - init_deg[u])
+
+    _fused_campaigns += 1
+    if pending is None:
+        return SimulationResult(
+            initial_n=network.initial_n,
+            deletions=deletions,
+            final_alive=n_alive,
+            peak_delta=peak_delta,
+            values={"insertions": 0.0},
+            events=None,
+            network=None,
+        ), None
+
+    # Insertion round incoming: the generic loop takes over mid-campaign,
+    # so the component tracker must now expose the kernel's state.
+    network.tracker.rebuild_from_fused(parent, lab_origin, alive)
+    return None, (rounds, deletions, pending)

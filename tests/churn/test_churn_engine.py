@@ -185,11 +185,13 @@ def test_duplicate_targets_are_deduped():
 # Fast path exclusion
 # ----------------------------------------------------------------------
 
-def test_mixed_rounds_never_take_the_batch_fast_path():
-    """The wave fast path assumes a hole-free, deletion-only campaign;
-    a mixed-round adversary must fall through to the honest loop even
-    on an otherwise eligible array-backed network."""
+def test_fast_path_eligibility_for_mixed_round_adversaries():
+    """Exactly the verbatim churn adversary classes may enter the fused
+    kernel (their delete-only prefixes fuse; insertion rounds bail out to
+    the honest loop) — a mixed-round flag on anything else, or a churn
+    subclass, is a protocol mismatch and must be refused."""
     from repro.adversary.classic import RandomAttack
+    from repro.churn.adversaries import ChurnAdversary
     from repro.sim import fastpath
 
     graph = GENERATORS.make("erdos_renyi:p=0.2,backend=array", force={"n": 32})
@@ -203,9 +205,27 @@ def test_mixed_rounds_never_take_the_batch_fast_path():
     )
     assert fastpath.supports(network, adversary, **kwargs)
 
-    # Same verbatim type, but flagged as mixed-round: instantly refused.
+    # Same verbatim type, but flagged as mixed-round: instantly refused
+    # (it would yield victim lists, not op lists, to the churn kernel).
     adversary.mixed_rounds = True
     assert not fastpath.supports(network, adversary, **kwargs)
+
+    # The genuine churn classes qualify...
+    churn = ChurnAdversary(rate=1.0, rounds=4, seed=1)
+    churn.reset(network)
+    assert fastpath.supports(network, churn, **kwargs)
+
+    # ...but not with the flag stripped, and not as a subclass (either
+    # may override hooks the kernel inlines).
+    churn.mixed_rounds = False
+    assert not fastpath.supports(network, churn, **kwargs)
+
+    class TweakedChurn(ChurnAdversary):
+        pass
+
+    sub = TweakedChurn(rate=1.0, rounds=4, seed=1)
+    sub.reset(network)
+    assert not fastpath.supports(network, sub, **kwargs)
 
 
 def test_scripted_churn_on_two_disjoint_edges_keeps_graph_consistent():

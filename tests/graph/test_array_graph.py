@@ -191,7 +191,32 @@ class TestDegreeMachinery:
         a = ArrayGraph.from_edges([(0, 1), (0, 2)])
         a.add_node(4)
         a.remove_node(1)
-        assert a.degree_array().tolist() == [1, -1, 1, -1, 0]
+        degs = a.degree_array().tolist()
+        # Gap growth doubles capacity, so slots past the highest label
+        # are preallocated slack — dead, and reported with the same -1
+        # sentinel as genuinely removed nodes.
+        assert degs[:5] == [1, -1, 1, -1, 0]
+        assert all(d == -1 for d in degs[5:])
+
+    def test_degree_array_sentinel_across_grown_gaps(self):
+        """Amortized-doubling gap growth must keep the -1 dead-slot
+        sentinel exact: dead gap slots, slack slots, and removed nodes
+        all read -1; only genuinely live slots carry degrees."""
+        a = ArrayGraph(range(2))
+        a.add_edge(0, 1)
+        a.add_node(9)            # gap 2..8, plus doubling slack past 9
+        a.add_node(5)            # claims a slot inside the first gap
+        a.add_edge(5, 9)
+        a.add_node(40)           # a second, larger gap
+        a.remove_node(5)         # a real removal (takes edge (5,9) along)
+        degs = a.degree_array().tolist()
+        assert len(degs) == len(a._nbrs) >= 41
+        expected_live = {0: 1, 1: 1, 9: 0, 40: 0}
+        for slot, d in enumerate(degs):
+            assert d == expected_live.get(slot, -1)
+        assert sorted(a.nodes()) == sorted(expected_live)
+        assert a.num_nodes == 4
+        a.check_degree_index()
 
 
 _OPS = st.lists(

@@ -1,8 +1,9 @@
 """Backend differential: array campaigns are byte-identical to object.
 
 The array backend's whole promise is "same results, different storage".
-These tests run full campaigns — healers × topologies × single-victim
-and wave schedules — once per backend and compare everything observable:
+These tests run full campaigns — healers × topologies × single-victim,
+wave, and mixed churn schedules — once per backend and compare
+everything observable:
 the HealEvent streams, the result scalars, the tracker accounting and
 labels, and the final graphs.
 
@@ -98,6 +99,60 @@ def test_index_extreme_adversaries(adversary):
             keep_network=True,
         )
     assert_identical(results["object"], results["array"])
+
+
+CHURN_SCHEDULES = [
+    "churn:rate=1.5,rounds=24",
+    "churn:rate=2.0,lifetime=pareto,mean=4,shape=2.2,rounds=24",
+]
+CHURN_HEALERS = ["dash", "forgiving-tree", "forgiving-graph"]
+
+
+@pytest.mark.parametrize("schedule", CHURN_SCHEDULES)
+@pytest.mark.parametrize("healer", CHURN_HEALERS)
+def test_churn_backend_differential(healer, schedule):
+    """Mixed insert/delete rounds: the array slot maps grow for every
+    joined node, and the whole observable surface — insert HealEvents
+    included — must stay byte-identical to the object backend."""
+    results = {}
+    for backend in ("object", "array"):
+        results[backend] = run_campaign(
+            erdos_renyi(64, 0.08, seed=21, backend=backend),
+            HEALERS.make(healer),
+            ADVERSARIES.make(schedule, seed=23),
+            id_seed=6,
+            keep_events=True,
+            keep_network=True,
+        )
+    assert_identical(results["object"], results["array"])
+    assert results["array"].insertions > 0
+    assert any(e.action == "insert" for e in results["array"].events)
+
+
+def test_scripted_churn_with_far_labels_matches():
+    """Scripted joins far past the initial label range force genuine
+    amortized-doubling gap growth in the array graph and every tracker
+    slot map; the op stream must still replay byte-identically."""
+    from repro.churn.trace import ScriptedChurn
+
+    script = [
+        [("delete", 3)],
+        [("add", 200, (0, 1)), ("delete", 5)],
+        [("add", 300, ())],
+        [("delete", 200), ("add", 201, (300,))],
+    ]
+    results = {}
+    for backend in ("object", "array"):
+        results[backend] = run_campaign(
+            erdos_renyi(40, 0.1, seed=25, backend=backend),
+            HEALERS.make("dash"),
+            ScriptedChurn(script),
+            id_seed=7,
+            keep_events=True,
+            keep_network=True,
+        )
+    assert_identical(results["object"], results["array"])
+    assert results["array"].insertions == 3
 
 
 def test_eager_reference_mode_matches_too():

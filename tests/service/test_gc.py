@@ -71,6 +71,18 @@ def test_parse_duration_rejects_garbage(text):
         parse_duration(text)
 
 
+@pytest.mark.parametrize(
+    "text", ["nan", "NaN", "inf", "-inf", "infinity", "nanh", "infd"]
+)
+def test_parse_duration_rejects_non_finite(text):
+    """float("nan") passes a `< 0` check (all NaN comparisons are
+    False), and a NaN horizon makes every `updated_at < cutoff` in
+    JobStore.gc False too — `gc --older-than nan` would silently never
+    prune. Non-finite durations must be refused up front."""
+    with pytest.raises(ConfigurationError, match="finite|>= 0"):
+        parse_duration(text)
+
+
 # ----------------------------------------------------------------------
 # JobStore.gc
 # ----------------------------------------------------------------------

@@ -9,10 +9,13 @@ kernel ineligible.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.adversary import ADVERSARIES
 from repro.core.registry import HEALERS
+from repro.errors import SimulationError
 from repro.graph.generators import preferential_attachment, random_tree
 from repro.sim import fastpath
 from repro.sim.engine import run_campaign
@@ -172,6 +175,110 @@ def test_fenwick_view_unit():
     assert [view[i] for i in range(4)] == [1, 2, 4, 5]
     view.remove(5)
     assert [view[i] for i in range(3)] == [1, 2, 4]
+
+
+# ----------------------------------------------------------------------
+# Fused churn kernel (delete-only prefixes fuse; insertions bail out)
+# ----------------------------------------------------------------------
+
+def _schedule(tmp_path, rounds):
+    path = tmp_path / "schedule.jsonl"
+    path.write_text("\n".join(json.dumps(r) for r in rounds) + "\n")
+    return path
+
+
+def _churn_scalars(result):
+    return (
+        result.initial_n,
+        result.deletions,
+        result.insertions,
+        result.final_alive,
+        result.peak_delta,
+        result.values,
+    )
+
+
+def _run_three_ways(make_adversary, **kw):
+    """(fused, generic-array, object) results for one churn campaign."""
+    fused = run(make("array"), make_adversary(), **kw)
+    generic = run(make("array"), make_adversary(), keep_events=True, **kw)
+    obj = run(make("object"), make_adversary(), keep_events=True, **kw)
+    assert _churn_scalars(generic) == _churn_scalars(obj)
+    assert _churn_scalars(fused) == _churn_scalars(generic)
+    return fused, generic, obj
+
+
+def test_fused_churn_pure_death_completes_in_kernel():
+    """A churn schedule that never inserts (rate=0) runs start to finish
+    inside the kernel — one fused campaign, scalars identical to the
+    generic array path and the object backend."""
+    before = fastpath._fused_campaigns
+    _run_three_ways(lambda: ADVERSARIES.make("churn:rate=0.0", seed=6))
+    assert fastpath._fused_campaigns == before + 1
+
+
+def test_fused_churn_delete_prefix_then_bailout(tmp_path):
+    """A trace with a long delete-only prefix fuses the prefix, bails on
+    the first insertion round, and the generic engine finishes the
+    campaign — byte-identical to never having fused at all."""
+    rounds = [[["delete", u]] for u in range(40)]
+    rounds.append([["delete", 77], ["delete", 78]])
+    rounds.append([["add", 500, [100, 101]], ["delete", 100]])
+    rounds.append([["add", 501, [500]]])
+    rounds.append([["delete", 500]])
+    path = _schedule(tmp_path, rounds)
+
+    before = fastpath._fused_campaigns
+    fused, generic, _ = _run_three_ways(
+        lambda: ADVERSARIES.make(f"trace-churn:path={path}")
+    )
+    assert fastpath._fused_campaigns == before + 1  # armed, then bailed
+    assert fused.deletions == 44
+    assert fused.insertions == 2
+    assert generic.insertions == 2
+
+
+def test_fused_churn_first_round_insertion_bails_unarmed(tmp_path):
+    """Steady-state churn inserts from round one: the kernel must hand
+    off before building any of its O(n) arrays — no fused campaign is
+    counted, and nothing needs repair."""
+    path = _schedule(
+        tmp_path,
+        [[["add", 500, [0]], ["delete", 1]], [["delete", 500]]],
+    )
+    before = fastpath._fused_campaigns
+    _run_three_ways(lambda: ADVERSARIES.make(f"trace-churn:path={path}"))
+    assert fastpath._fused_campaigns == before
+
+
+def test_fused_churn_bailout_repairs_graph_state(tmp_path):
+    """After an armed bailout the graph the generic engine inherits must
+    have accurate public counters, a consistent degree index, and a
+    valid adjacency — the kernel bypassed all of them live."""
+    rounds = [[["delete", u]] for u in range(30)]
+    rounds.append([["add", 900, [50, 51]]])
+    path = _schedule(tmp_path, rounds)
+    g = make("array")
+    run(g, ADVERSARIES.make(f"trace-churn:path={path}"))
+    assert g.has_node(900)
+    assert g.num_nodes == 160 - 30 + 1
+    assert g.num_edges == sum(g.degrees().values()) // 2
+    g.check_degree_index()
+    from repro.graph.validation import validate_graph
+
+    validate_graph(g)
+
+
+def test_fused_churn_dead_victim_error_parity(tmp_path):
+    """A trace that re-kills a dead node raises the same SimulationError
+    from the kernel's inlined check as from the generic loop."""
+    path = _schedule(tmp_path, [[["delete", 3]], [["delete", 3]]])
+    messages = {}
+    for backend in ("array", "object"):
+        with pytest.raises(SimulationError, match="dead node") as exc:
+            run(make(backend), ADVERSARIES.make(f"trace-churn:path={path}"))
+        messages[backend] = str(exc.value)
+    assert messages["array"] == messages["object"]
 
 
 def test_fused_repairs_graph_counters():

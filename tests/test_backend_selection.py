@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.graph.array_backend import ArrayGraph, new_graph
 from repro.graph.generators import GENERATORS
 from repro.graph.graph import Graph
+from repro.sim.experiment import ExperimentSpec, expand_tasks, run_task
 
 
 class TestSpecRoundTrip:
@@ -67,6 +68,41 @@ class TestNewGraphFactory:
     def test_unknown_backend(self):
         with pytest.raises(ConfigurationError):
             new_graph(backend="")
+
+
+class TestChurnSweeps:
+    """Churn sweeps run on every backend — the array substrate grows
+    slots for inserted nodes, so the old fail-fast guard is gone."""
+
+    def _spec(self, backend: str) -> ExperimentSpec:
+        generator = "erdos_renyi:p=0.1"
+        if backend != "object":
+            generator += f",backend={backend}"
+        # One name for every backend: task seeds derive from spec.name,
+        # and the paired design must hold across substrates too.
+        return ExperimentSpec(
+            name="churn-backend-parity",
+            generator=generator,
+            sizes=(32,),
+            healers=("dash",),
+            repetitions=1,
+            adversary="churn:rate=2.0,rounds=6",
+            max_deletions=None,
+            master_seed=5,
+        )
+
+    def test_churn_spec_on_array_backend_constructs(self):
+        self._spec("array")  # no ConfigurationError at __post_init__
+
+    def test_churn_sweep_results_identical_across_backends(self):
+        results = {}
+        for backend in ("object", "array"):
+            tasks = expand_tasks(self._spec(backend))
+            assert len(tasks) == 1
+            _, values = run_task(*tasks[0])
+            results[backend] = values
+        assert results["array"] == results["object"]
+        assert results["array"]["insertions"] > 0
 
 
 class TestCli:
